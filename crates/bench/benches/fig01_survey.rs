@@ -1,0 +1,96 @@
+//! Figure 1 + Tables 1 and 2: the literature survey.
+//!
+//! Regenerates the survey pipeline over the synthetic corpus and prints
+//! the paper's aggregates: filtering chain, venue split, citations,
+//! reporting-quality percentages, repetition histogram, Kappa scores.
+
+use bench::{banner, check};
+use repro_core::survey::{self, params};
+use repro_core::vstats::kappa::interpret_kappa;
+
+fn main() {
+    banner(
+        "Table 1",
+        "Parameters for the performance variability systematic survey",
+    );
+    println!("  venues:   {}", params::VENUES.join(", "));
+    println!("  keywords: {}", params::KEYWORDS.join(", "));
+    println!("  years:    {} - {}", params::YEAR_FROM, params::YEAR_TO);
+
+    let corpus = survey::generate();
+    let res = survey::run_survey(&corpus);
+
+    banner("Table 2", "Survey process");
+    println!(
+        "  articles total: {}   keyword-filtered: {}   cloud experiments: {}",
+        res.total, res.keyword_filtered, res.cloud_selected
+    );
+    let venues: Vec<String> = res
+        .per_venue
+        .iter()
+        .map(|(v, n)| format!("{n} {v}"))
+        .collect();
+    println!("  selected split: {}", venues.join(", "));
+    println!("  citations of selected articles: {}", res.citations);
+
+    banner("Figure 1a", "Experiment reporting (percent of the 44 articles)");
+    println!(
+        "  reporting average or median : {:>5.1} %",
+        res.fig1a.pct_avg_or_median
+    );
+    println!(
+        "  reporting variability       : {:>5.1} %",
+        res.fig1a.pct_variability
+    );
+    println!(
+        "  no or poor specification    : {:>5.1} %",
+        res.fig1a.pct_poorly_specified
+    );
+
+    banner(
+        "Figure 1b",
+        "Repetitions for well-reported studies (percent of articles)",
+    );
+    for &(reps, count) in &res.fig1b {
+        println!(
+            "  {reps:>3} repetitions: {:>5.1} %  ({count} articles)",
+            100.0 * count as f64 / res.cloud_selected as f64
+        );
+    }
+    println!(
+        "  properly-specified studies using <= 15 repetitions: {:.0} %",
+        res.frac_low_repetitions * 100.0
+    );
+
+    banner("Reviewer agreement", "Cohen's Kappa per category");
+    for (cat, k) in [
+        ("average/median", res.kappa_avg_median),
+        ("variability", res.kappa_variability),
+        ("poor specification", res.kappa_poor_spec),
+    ] {
+        println!("  {cat:<20} kappa = {k:.2}  ({})", interpret_kappa(k));
+    }
+
+    // Shape checks against the paper's reported values.
+    check("1867 -> 138 -> 44 filtering chain", res.total == 1867
+        && res.keyword_filtered == 138
+        && res.cloud_selected == 44);
+    check("selected articles cited 11203 times", res.citations == 11_203);
+    check(
+        "over 60% of articles severely under-specified",
+        res.fig1a.pct_poorly_specified > 60.0,
+    );
+    check(
+        "~37% of avg/median articles report variability",
+        (res.fig1a.pct_variability / res.fig1a.pct_avg_or_median - 0.37).abs() < 0.03,
+    );
+    check(
+        "76% of properly-specified studies use <= 15 repetitions",
+        (res.frac_low_repetitions - 0.76).abs() < 0.02,
+    );
+    check(
+        "all Kappa scores show almost perfect agreement (> 0.8)",
+        res.kappa_avg_median > 0.8 && res.kappa_variability > 0.8 && res.kappa_poor_spec > 0.8,
+    );
+    println!();
+}

@@ -1,0 +1,59 @@
+//! Figure 2: bandwidth distributions for eight real-world clouds
+//! (Ballani et al.), as 1/25/50/75/99-percentile boxes in Mb/s.
+
+use bench::{banner, box_row, check};
+use repro_core::clouds::ballani;
+use repro_core::netsim::rng::SimRng;
+use repro_core::vstats::describe::BoxSummary;
+
+fn main() {
+    banner(
+        "Figure 2",
+        "Bandwidth distributions for eight real-world clouds [Mb/s]",
+    );
+
+    let mut medians = Vec::new();
+    for (label, dist) in ballani::all() {
+        // The defining percentiles...
+        let b = BoxSummary {
+            p1: dist.quantile(0.01) / 1e6,
+            p25: dist.quantile(0.25) / 1e6,
+            p50: dist.quantile(0.50) / 1e6,
+            p75: dist.quantile(0.75) / 1e6,
+            p99: dist.quantile(0.99) / 1e6,
+        };
+        box_row(&format!("Cloud {label}"), &b, "Mb/s");
+        medians.push(b.p50);
+
+        // ...and a sampling round-trip: drawing from the distribution
+        // reproduces its own box (validates the inverse-CDF sampler).
+        let mut rng = SimRng::new(label as u64);
+        let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng) / 1e6).collect();
+        let s = BoxSummary::from_samples(&samples);
+        assert!(
+            (s.p50 - b.p50).abs() / b.p50 < 0.03,
+            "cloud {label}: sampled median {} vs defined {}",
+            s.p50,
+            b.p50
+        );
+    }
+
+    check("eight clouds on a 0-1000 Mb/s axis", {
+        let all = ballani::all();
+        all.len() == 8
+            && all
+                .iter()
+                .all(|(_, d)| d.quantile(0.99) <= 1000e6 && d.quantile(0.01) >= 0.0)
+    });
+    let min = medians.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = medians.iter().cloned().fold(0.0f64, f64::max);
+    check(
+        "cross-cloud median heterogeneity (max/min > 1.8)",
+        max / min > 1.8,
+    );
+    check("wide and tight spreads coexist", {
+        let iqr = |l: char| ballani::distribution(l).iqr();
+        iqr('D') > 4.0 * iqr('E')
+    });
+    println!();
+}

@@ -1,0 +1,64 @@
+//! Figure 4: variable network bandwidth in HPCCloud (full-speed, one
+//! week, 10-second samples) — time series plus IQR box with 1st/99th
+//! percentile whiskers.
+
+use bench::{banner, box_row, check, series_row};
+use repro_core::clouds::hpccloud;
+use repro_core::measure::run_campaign;
+use repro_core::netsim::pattern::TrafficPattern;
+use repro_core::netsim::units::{as_gbps, gbps, WEEK};
+use repro_core::vstats::describe::BoxSummary;
+
+fn main() {
+    banner(
+        "Figure 4",
+        "HPCCloud full-speed bandwidth over one week (10 s samples)",
+    );
+    let profile = hpccloud::n_core(8);
+    let res = run_campaign(&profile, TrafficPattern::FullSpeed, WEEK, 4);
+
+    let series: Vec<(f64, f64)> = res
+        .trace
+        .samples
+        .iter()
+        .map(|s| (s.t, s.bandwidth_bps))
+        .collect();
+    series_row("full-speed", &series, 1e-9, "Gbps");
+    let bw = res.trace.bandwidths();
+    let b = BoxSummary::from_samples(&bw);
+    box_row(
+        "distribution",
+        &BoxSummary {
+            p1: as_gbps(b.p1),
+            p25: as_gbps(b.p25),
+            p50: as_gbps(b.p50),
+            p75: as_gbps(b.p75),
+            p99: as_gbps(b.p99),
+        },
+        "Gbps",
+    );
+    println!(
+        "  samples: {}   max consecutive 10s swing: {:.0}%",
+        bw.len(),
+        res.trace.max_consecutive_swing() * 100.0
+    );
+
+    // Paper: bandwidth ranges 7.7–10.4 Gbps; swings up to 33%.
+    check(
+        "bandwidth ranges within ~7.7-10.4 Gbps",
+        res.summary.min > gbps(7.0) && res.summary.max <= gbps(10.5),
+    );
+    check(
+        "visible contention dips below 9.5 Gbps",
+        res.summary.min < gbps(9.5),
+    );
+    check(
+        "consecutive-sample swing is substantial (>= 5%) yet bounded (< 50%)",
+        res.trace.max_consecutive_swing() > 0.05 && res.trace.max_consecutive_swing() < 0.50,
+    );
+    check(
+        "a week of 10 s samples (~60480)",
+        (bw.len() as i64 - 60_480).abs() < 10,
+    );
+    println!();
+}

@@ -1,0 +1,65 @@
+//! Figure 7: Amazon EC2 RTT for 10-second TCP samples on c5.xlarge —
+//! sub-millisecond under regular conditions (top), two orders of
+//! magnitude higher once the token bucket throttles (bottom).
+
+use bench::{banner, check, series_row};
+use repro_core::clouds::ec2;
+use repro_core::measure::latency::rtt_stream;
+use repro_core::netsim::pattern::TrafficPattern;
+use repro_core::netsim::tcp::{StreamConfig, StreamSim};
+use repro_core::vstats::describe::Summary;
+
+fn main() {
+    banner(
+        "Figure 7",
+        "EC2 c5.xlarge RTT: regular (top) vs bucket-depleted (bottom)",
+    );
+    let profile = ec2::c5_xlarge();
+
+    // Top: fresh VM, full budget, 10 s samples at 10 Gbps.
+    let mut vm = profile.instantiate(7);
+    let fresh = rtt_stream(&mut vm, 10.0, 131_072.0, 400);
+    let fresh_ms: Vec<f64> = fresh.rtts().iter().map(|r| r * 1e3).collect();
+    let s_fresh = Summary::from_samples(&fresh_ms);
+
+    // Bottom: same instance type after ~10 minutes of full-speed
+    // transfer (bucket empty, throughput 1 Gbps).
+    let mut vm = profile.instantiate(7);
+    let warmup = StreamConfig::new(700.0, TrafficPattern::FullSpeed);
+    StreamSim::run(&mut vm.shaper, &mut vm.nic, &warmup);
+    let throttled = rtt_stream(&mut vm, 10.0, 131_072.0, 400);
+    let thr_ms: Vec<f64> = throttled.rtts().iter().map(|r| r * 1e3).collect();
+    let s_thr = Summary::from_samples(&thr_ms);
+
+    let idx = |xs: &[f64]| -> Vec<(f64, f64)> {
+        xs.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect()
+    };
+    series_row("regular", &idx(&fresh_ms), 1.0, "ms");
+    series_row("throttled", &idx(&thr_ms), 1.0, "ms");
+    println!(
+        "  regular:   mean {:.3} ms, p99 {:.3} ms  (bandwidth ~10 Gbps)",
+        s_fresh.mean, s_fresh.box_summary.p99
+    );
+    println!(
+        "  throttled: mean {:.2} ms, p99 {:.2} ms  (bandwidth ~1 Gbps)",
+        s_thr.mean, s_thr.box_summary.p99
+    );
+
+    check(
+        "regular RTT is sub-millisecond on average",
+        s_fresh.mean < 1.0,
+    );
+    check(
+        "regular RTT stays below ~2.5 ms even at p99",
+        s_fresh.box_summary.p99 < 2.5,
+    );
+    check(
+        "throttling raises latency by ~two orders of magnitude (25-300x)",
+        s_thr.mean / s_fresh.mean > 25.0 && s_thr.mean / s_fresh.mean < 300.0,
+    );
+    check(
+        "throttled RTT reaches the 10-20 ms regime",
+        s_thr.box_summary.p75 > 8.0,
+    );
+    println!();
+}

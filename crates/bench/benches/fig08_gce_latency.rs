@@ -1,0 +1,58 @@
+//! Figure 8: Google Cloud RTT for 10-second TCP samples on a 4-core
+//! instance — millisecond-scale with an upper limit near 10 ms, no
+//! throttling regime.
+
+use bench::{banner, check, series_row};
+use repro_core::clouds::gce;
+use repro_core::measure::latency::rtt_stream;
+use repro_core::vstats::describe::{quantile, Summary};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "GCE 4-core RTT for 10-second TCP samples (128 KiB writes)",
+    );
+    let profile = gce::n_core(4);
+
+    // Two independent 10-second samples (the figure's two rows).
+    for (label, seed) in [("sample 1", 81u64), ("sample 2", 82u64)] {
+        let mut vm = profile.instantiate(seed);
+        let tr = rtt_stream(&mut vm, 10.0, 131_072.0, 400);
+        let ms: Vec<f64> = tr.rtts().iter().map(|r| r * 1e3).collect();
+        let s = Summary::from_samples(&ms);
+        let series: Vec<(f64, f64)> =
+            ms.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+        series_row(label, &series, 1.0, "ms");
+        println!(
+            "    mean {:.2} ms, median {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            s.mean,
+            s.median(),
+            s.box_summary.p99,
+            s.max
+        );
+    }
+
+    // Aggregate over a longer run for the checks.
+    let mut vm = profile.instantiate(83);
+    let tr = rtt_stream(&mut vm, 120.0, 131_072.0, 200);
+    let ms: Vec<f64> = tr.rtts().iter().map(|r| r * 1e3).collect();
+    let s = Summary::from_samples(&ms);
+
+    check(
+        "RTT is millisecond-scale (mean 1.5-8 ms)",
+        s.mean > 1.5 && s.mean < 8.0,
+    );
+    check(
+        "bulk of samples below ~10 ms (p90 < 12 ms)",
+        quantile(&ms, 0.90) < 12.0,
+    );
+    check(
+        "no sub-millisecond regime (p1 > 1 ms) - unlike EC2",
+        s.box_summary.p1 > 1.0,
+    );
+    check(
+        "no throttling bimodality: p99/median < 8",
+        s.box_summary.p99 / s.median() < 8.0,
+    );
+    println!();
+}

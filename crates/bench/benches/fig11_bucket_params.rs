@@ -1,0 +1,68 @@
+//! Figure 11: token-bucket parameters for the EC2 c5.* family — 15
+//! probes per type; time-to-empty boxplots (left axis), high/low
+//! bandwidth bars (right axis).
+
+use bench::{banner, check};
+use repro_core::clouds::ec2;
+use repro_core::measure::probe_instance_type;
+use repro_core::vstats::describe::{BoxSummary, Summary};
+
+fn main() {
+    banner(
+        "Figure 11",
+        "Token-bucket parameters, c5.large..c5.4xlarge (15 probes each)",
+    );
+    println!(
+        "  {:<12} {:>22} {:>11} {:>11} {:>12}",
+        "type", "time-to-empty [s]", "high[Gbps]", "low[Gbps]", "budget[Gbit]"
+    );
+
+    let mut med_ttes = Vec::new();
+    let mut med_lows = Vec::new();
+    for (i, profile) in ec2::c5_family().into_iter().enumerate() {
+        // Probe long enough to catch even the c5.4xlarge (~80 min).
+        let probes = probe_instance_type(&profile, 15, 110 + i as u64, 7_000.0);
+        assert!(probes.len() >= 12, "{}: too few successful probes", profile.instance_type);
+        let ttes: Vec<f64> = probes.iter().map(|p| p.time_to_empty_s).collect();
+        let highs: Vec<f64> = probes.iter().map(|p| p.high_bps / 1e9).collect();
+        let lows: Vec<f64> = probes.iter().map(|p| p.low_bps / 1e9).collect();
+        let budgets: Vec<f64> = probes.iter().map(|p| p.budget_bits / 1e9).collect();
+        let tb = BoxSummary::from_samples(&ttes);
+        let sh = Summary::from_samples(&highs);
+        let sl = Summary::from_samples(&lows);
+        let sb = Summary::from_samples(&budgets);
+        println!(
+            "  {:<12} {:>6.0} [{:>5.0}..{:>5.0}] IQR {:>4.0} {:>11.2} {:>11.2} {:>12.0}",
+            profile.instance_type,
+            tb.p50,
+            tb.p1,
+            tb.p99,
+            tb.iqr(),
+            sh.mean,
+            sl.mean,
+            sb.mean
+        );
+        med_ttes.push(tb.p50);
+        med_lows.push(sl.mean);
+    }
+
+    check(
+        "time-to-empty grows with instance size",
+        med_ttes.windows(2).all(|w| w[1] > w[0]),
+    );
+    check(
+        "low bandwidth grows with instance size (0.75 -> 1 -> 2 -> 4 Gbps)",
+        med_lows.windows(2).all(|w| w[1] > w[0])
+            && (med_lows[1] - 1.0).abs() < 0.2
+            && (med_lows[3] - 4.0).abs() < 0.5,
+    );
+    check(
+        "c5.xlarge empties in roughly 10 minutes (450-700 s)",
+        med_ttes[1] > 450.0 && med_ttes[1] < 700.0,
+    );
+    check(
+        "c5.4xlarge takes over an hour (Figure 11's 5000+ s boxplot)",
+        med_ttes[3] > 3_600.0,
+    );
+    println!();
+}

@@ -1,0 +1,67 @@
+//! Figure 12: latency and bandwidth as functions of the application's
+//! write() size — EC2 (9 K jumbo MTU) vs GCE (TSO, 64 K segments).
+
+use bench::{banner, check};
+use repro_core::clouds::{ec2, gce};
+use repro_core::measure::latency::{figure12_write_sizes, write_size_sweep};
+
+fn main() {
+    banner(
+        "Figure 12",
+        "Latency/bandwidth vs write() size: EC2 c5.xlarge vs GCE 4-core",
+    );
+
+    let sizes = figure12_write_sizes();
+    let ec2_pts = write_size_sweep(&ec2::c5_xlarge(), &sizes, 120.0, 12);
+    let gce_pts = write_size_sweep(&gce::n_core(4), &sizes, 120.0, 12);
+
+    println!(
+        "  {:>9} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
+        "write", "EC2 rtt", "EC2 p99", "EC2 rtx/GB", "GCE rtt", "GCE p99", "GCE rtx/GB"
+    );
+    for (e, g) in ec2_pts.iter().zip(&gce_pts) {
+        println!(
+            "  {:>7.0}KB | {:>8.3}ms {:>8.3}ms {:>12.2} | {:>8.2}ms {:>8.2}ms {:>12.2}",
+            e.write_bytes / 1024.0,
+            e.mean_rtt_s * 1e3,
+            e.p99_rtt_s * 1e3,
+            e.retrans_per_gb,
+            g.mean_rtt_s * 1e3,
+            g.p99_rtt_s * 1e3,
+            g.retrans_per_gb,
+        );
+    }
+
+    let ec2_9k = ec2_pts.iter().find(|p| p.write_bytes == 9_000.0).unwrap();
+    let ec2_128k = ec2_pts.last().unwrap();
+    let gce_9k = gce_pts.iter().find(|p| p.write_bytes == 9_000.0).unwrap();
+    let gce_128k = gce_pts.last().unwrap();
+
+    check(
+        "EC2 latency flattens past the 9 K MTU (128 K / 9 K < 1.5)",
+        ec2_128k.mean_rtt_s / ec2_9k.mean_rtt_s < 1.5,
+    );
+    check(
+        "GCE latency keeps growing up to the 64 K TSO cap (128 K / 9 K > 1.5)",
+        gce_128k.mean_rtt_s / gce_9k.mean_rtt_s > 1.5,
+    );
+    check(
+        "GCE 9 K writes: ~2.3 ms mean RTT and near-zero retransmissions",
+        gce_9k.mean_rtt_s > 1.5e-3
+            && gce_9k.mean_rtt_s < 3.2e-3
+            && gce_9k.retrans_per_gb < 0.2 * gce_128k.retrans_per_gb,
+    );
+    check(
+        "GCE 128 K writes reach the ~10 ms regime at the tail",
+        gce_128k.p99_rtt_s > 8e-3,
+    );
+    check(
+        "EC2 stays sub-millisecond at every write size",
+        ec2_pts.iter().all(|p| p.mean_rtt_s < 1e-3),
+    );
+    check(
+        "GCE retransmissions grow strongly with write size",
+        gce_128k.retrans_per_gb > 5.0 * (gce_9k.retrans_per_gb + 0.01),
+    );
+    println!();
+}

@@ -1,0 +1,104 @@
+//! Figure 13: CONFIRM analysis — how many repetitions until the 95%
+//! median CI is within 1% of the median? K-Means runs directly on
+//! Google Cloud; TPC-DS Q65 on HPCCloud. The paper: "it can take 70
+//! repetitions or more".
+
+use bench::{banner, check};
+use repro_core::bigdata::engine::{run_job_cfg, EngineConfig};
+use repro_core::bigdata::workloads::{hibench, tpcds};
+use repro_core::bigdata::{Cluster, JobSpec};
+use repro_core::clouds::CloudProfile;
+use repro_core::netsim::rng::derive_seed;
+use repro_core::vstats::confirm::{confirm_curve, repetitions_needed};
+
+const REPS: usize = 100;
+
+fn run_on_cloud(profile: &CloudProfile, job: &JobSpec, seed: u64) -> Vec<f64> {
+    let cfg = EngineConfig {
+        shuffle_step_s: 0.5,
+        compute_step_s: 2.0,
+        trace_interval_s: 5.0,
+        compute_jitter_sigma: 0.06,
+    };
+    (0..REPS)
+        .map(|rep| {
+            // Fresh VMs per repetition (the gold-standard protocol).
+            let s = derive_seed(seed, rep as u64);
+            let mut cluster = Cluster::from_profile(profile, 12, 16, s);
+            run_job_cfg(&mut cluster, job, s, &cfg).duration_s
+        })
+        .collect()
+}
+
+fn analyze(part: &str, caption: &str, samples: &[f64], err: f64) -> Option<usize> {
+    banner(part, caption);
+    let curve = confirm_curve(samples, 0.5, 0.95);
+    println!(
+        "  {:>5} {:>10} {:>22} {:>10}",
+        "n", "median[s]", "95% CI", "rel.err"
+    );
+    for &n in &[10usize, 20, 30, 50, 70, 100] {
+        let pt = &curve[n - 1];
+        match pt.ci {
+            Some(ci) => println!(
+                "  {:>5} {:>10.2} [{:>8.2}, {:>8.2}] {:>9.2}%",
+                n,
+                pt.estimate,
+                ci.lower,
+                ci.upper,
+                ci.relative_error() * 100.0
+            ),
+            None => println!("  {:>5} {:>10.2} {:>22} {:>10}", n, pt.estimate, "-", "-"),
+        }
+    }
+    let needed = repetitions_needed(samples, 0.5, 0.95, err);
+    match needed {
+        Some(n) => println!("  repetitions needed for {:.0}% error bound: {n}", err * 100.0),
+        None => println!(
+            "  {:.0}% error bound NOT reached within {REPS} repetitions",
+            err * 100.0
+        ),
+    }
+    needed
+}
+
+fn main() {
+    let gce = repro_core::clouds::gce::n_core(8);
+    let km = run_on_cloud(&gce, &hibench::kmeans_confirm(), 131);
+    let n_km = analyze(
+        "Figure 13a",
+        "Median performance for K-Means on Google Cloud (100 reps)",
+        &km,
+        0.01,
+    );
+
+    let hpc = repro_core::clouds::hpccloud::n_core(8);
+    let q65 = run_on_cloud(&hpc, &tpcds::q65_confirm(), 132);
+    let n_q65 = analyze(
+        "Figure 13b",
+        "Median performance for TPC-DS Q65 on HPCCloud (100 reps)",
+        &q65,
+        0.01,
+    );
+
+    let med_km = repro_core::vstats::median(&km);
+    let med_q65 = repro_core::vstats::median(&q65);
+    check(
+        "K-Means medians near the figure's ~100 s axis (70-140 s)",
+        med_km > 70.0 && med_km < 140.0,
+    );
+    check(
+        "Q65 medians near the figure's ~30 s axis (20-50 s)",
+        med_q65 > 20.0 && med_q65 < 50.0,
+    );
+    let effective = |n: Option<usize>| n.unwrap_or(REPS + 1);
+    check(
+        "a 1% error bound takes dozens of repetitions or more (>= 25)",
+        effective(n_km) >= 25 && effective(n_q65) >= 25,
+    );
+    check(
+        "typical literature practice (3-10 reps) cannot reach the bound",
+        effective(n_km) > 10 && effective(n_q65) > 10,
+    );
+    println!();
+}

@@ -1,0 +1,114 @@
+//! Figure 14 + Table 4: validation of the token-bucket emulation.
+//!
+//! The paper validates its tc-based emulator against real AWS traces
+//! for the 10-30 and 5-30 patterns with a nearly-empty bucket: each
+//! burst starts at the 10 Gbps high rate, depletes the ~30 Gbit of
+//! tokens accrued during the 30 s rest after ~3.3 s, and collapses to
+//! ~1 Gbps. We compare the simulated emulator against that analytic
+//! reference (standing in for the unpublished raw AWS trace) second by
+//! second over the figure's 90 s window.
+
+use bench::{banner, check, sparkline};
+use repro_core::netsim::shaper::{Shaper, TokenBucket};
+use repro_core::netsim::units::{gbit, gbps};
+
+/// Analytic per-second AWS reference for a duty-cycle burst pattern
+/// with a nearly-empty bucket (tokens accrued during rest = off_s × 1
+/// Gbit/s; burst at 10 Gbps while they last, then 1 Gbps).
+fn reference(on_s: f64, off_s: f64, horizon_s: usize) -> Vec<f64> {
+    let period = on_s + off_s;
+    let tokens = off_s * 1.0; // Gbit accrued per rest
+    let t_high = tokens / 9.0; // seconds of 10 Gbps per burst
+    (0..horizon_s)
+        .map(|t| {
+            let phase = (t as f64).rem_euclid(period);
+            if phase >= on_s {
+                0.0
+            } else if phase + 1.0 <= t_high {
+                10.0
+            } else if phase >= t_high {
+                1.0
+            } else {
+                // Fractional second across the drop.
+                let high_frac = t_high - phase;
+                10.0 * high_frac + 1.0 * (1.0 - high_frac)
+            }
+        })
+        .collect()
+}
+
+/// Simulate the emulator: per-second throughput of a c5.xlarge bucket
+/// starting empty, driven by the pattern.
+fn emulate(on_s: f64, off_s: f64, horizon_s: usize) -> Vec<f64> {
+    let mut tb = TokenBucket::sigma_rho(gbit(5000.0), gbps(1.0), gbps(10.0));
+    // "At the beginning of each experiment, we made sure that the
+    // token-bucket budget is nearly empty": the VM rested for one off
+    // period before the window starts, so it holds off_s Gbit of tokens.
+    tb.set_budget_bits(gbit(off_s));
+    let period = on_s + off_s;
+    let dt = 0.05;
+    let mut out = Vec::with_capacity(horizon_s);
+    for sec in 0..horizon_s {
+        let mut bits = 0.0;
+        let steps = (1.0 / dt) as usize;
+        for k in 0..steps {
+            let t = sec as f64 + k as f64 * dt;
+            let on = t.rem_euclid(period) < on_s;
+            let demand = if on { f64::INFINITY } else { 0.0 };
+            bits += tb.transmit(t, dt, demand);
+        }
+        out.push(bits / 1e9);
+    }
+    out
+}
+
+fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    (a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64)
+        .sqrt()
+}
+
+fn main() {
+    banner(
+        "Table 4",
+        "Big data experiments on modern cloud networks",
+    );
+    println!("  HiBench  BigData  | token-bucket network | Spark 2.4.0, Hadoop 2.7.3 | 12 nodes");
+    println!("  TPC-DS   SF-2000  | token-bucket network | Spark 2.4.0, Hadoop 2.7.3 | 12 nodes");
+    println!("  (simulated: bigdata::Cluster::ec2_emulated(12, 16, budget))");
+
+    banner(
+        "Figure 14",
+        "Token-bucket emulation vs AWS reference, 90 s window",
+    );
+    let mut max_rmse = 0.0f64;
+    for (label, on, off) in [("(a) 10-30", 10.0, 30.0), ("(b) 5-30", 5.0, 30.0)] {
+        let aws = reference(on, off, 90);
+        let emu = emulate(on, off, 90);
+        println!("  {label}  AWS ref   {}", sparkline(&aws));
+        println!("  {label}  emulation {}", sparkline(&emu));
+        let e = rmse(&aws, &emu);
+        println!("  {label}  RMSE = {e:.3} Gbps over 90 s");
+        max_rmse = max_rmse.max(e);
+
+        // Structure of each burst: starts high, ends low.
+        let burst_start = emu[on as usize + off as usize]; // first sec of 2nd burst
+        let burst_end = emu[(2.0 * (on + off)) as usize - off as usize - 1];
+        check(
+            &format!("{label}: burst starts at the 10 Gbps high rate"),
+            burst_start > 9.0,
+        );
+        check(
+            &format!("{label}: burst ends at the ~1 Gbps low rate"),
+            burst_end < 1.6,
+        );
+    }
+    check(
+        "emulation matches the reference closely (RMSE < 0.5 Gbps)",
+        max_rmse < 0.5,
+    );
+    println!();
+}

@@ -1,0 +1,109 @@
+//! Supplementary: why short bursts lose bandwidth on Google Cloud —
+//! the Figure 5 pattern ordering, decomposed into its two mechanisms.
+//!
+//! Figure 5 shows GCE's full-speed streams beating 10-30 beating 5-30.
+//! Two independent effects produce that ordering, and the simulator
+//! carries both:
+//!
+//! 1. **virtual-network ramp-up** — idle flows lose their Andromeda
+//!    fast path and re-establish it at burst start (the `PerCoreQos`
+//!    shaper's ramp penalty);
+//! 2. **TCP slow start** — a window rebuilt after idle needs several
+//!    RTTs to fill a 16 Gbps pipe (the `congestion` module).
+//!
+//! This bench measures burst-length vs achieved throughput under each
+//! mechanism separately and combined.
+
+use bench::{banner, check};
+use repro_core::netsim::congestion::{run_reno, RenoConfig};
+use repro_core::netsim::nic::{NicConfig, NicModel};
+use repro_core::netsim::shaper::{PerCoreQos, PerCoreQosConfig, Shaper, StaticShaper};
+use repro_core::netsim::units::gbps;
+
+/// Mean over `n` bursts of `burst_s` each (fresh flow per burst) of the
+/// per-burst average goodput, via Reno over the given shaper factory.
+fn reno_burst_mean<S: Shaper, F: FnMut() -> S>(
+    mut make_shaper: F,
+    burst_s: f64,
+    n: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut shaper = make_shaper();
+        let mut nic = NicModel::new(NicConfig::gce_virtio(gbps(16.0)), 500 + i as u64);
+        let res = run_reno(&mut shaper, &mut nic, &RenoConfig::default(), burst_s);
+        total += res.delivered_bits / burst_s;
+    }
+    total / n as f64
+}
+
+/// Per-burst goodput of the fluid (greedy) model over PerCoreQos —
+/// isolates the ramp-penalty mechanism.
+fn fluid_burst_mean(burst_s: f64, n: usize) -> f64 {
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut s = PerCoreQos::new(PerCoreQosConfig::gce(8), 700 + i as u64);
+        let dt = 0.05;
+        let mut bits = 0.0;
+        let mut t = 0.0;
+        while t < burst_s {
+            bits += s.transmit(t, dt, f64::INFINITY);
+            t += dt;
+        }
+        total += bits / burst_s;
+    }
+    total / n as f64
+}
+
+fn main() {
+    banner(
+        "Supplementary",
+        "burst length vs achieved throughput on GCE (Figure 5 mechanisms)",
+    );
+    println!(
+        "  {:>8} {:>16} {:>16} {:>18}",
+        "burst", "ramp only", "slow-start only", "both (Gbps)"
+    );
+    let bursts = [2.0, 5.0, 10.0, 30.0];
+    let mut rows = Vec::new();
+    for &b in &bursts {
+        let ramp = fluid_burst_mean(b, 30) / 1e9;
+        let ss = reno_burst_mean(|| StaticShaper::new(gbps(16.0) * 0.97), b, 30) / 1e9;
+        let both = reno_burst_mean(|| PerCoreQos::new(PerCoreQosConfig::gce(8), 900), b, 30) / 1e9;
+        println!("  {:>7.0}s {:>15.2} {:>15.2} {:>17.2}", b, ramp, ss, both);
+        rows.push((b, ramp, ss, both));
+    }
+
+    // Shape checks: every mechanism makes longer bursts faster, and the
+    // combined penalty is at least as large as either alone.
+    check(
+        "ramp penalty: throughput increases with burst length",
+        rows.windows(2).all(|w| w[1].1 >= w[0].1 * 0.99),
+    );
+    check(
+        "slow start: throughput increases with burst length",
+        rows.windows(2).all(|w| w[1].2 >= w[0].2 * 0.99),
+    );
+    check(
+        "combined bursts are no faster than either mechanism alone",
+        rows.iter().all(|&(_, ramp, ss, both)| both <= ramp.min(ss) * 1.05),
+    );
+    // Quantify each mechanism's share of the short-burst penalty.
+    let ramp_loss = 1.0 - rows[0].1 / rows[3].1;
+    let ss_loss = 1.0 - rows[0].2 / rows[3].2;
+    println!(
+        "  2 s-burst penalty: ramp {:.1}%, slow start {:.1}%",
+        ramp_loss * 100.0,
+        ss_loss * 100.0
+    );
+    check(
+        "the virtual-network ramp dominates the short-burst penalty \
+         (slow start amortizes within ~10 RTTs at millisecond RTTs)",
+        ramp_loss > 0.04 && ramp_loss > 2.0 * ss_loss.max(0.0),
+    );
+    check(
+        "combined: a 2 s burst is measurably slower than a 30 s burst",
+        rows[0].3 < 0.97 * rows[3].3,
+    );
+    println!();
+}

@@ -1,0 +1,145 @@
+//! Job and stage specifications.
+//!
+//! A job is a linear DAG of stages (Spark's scheduler generalizes to
+//! arbitrary DAGs, but every workload in the paper — HiBench apps and
+//! TPC-DS queries — executes as a stage sequence once scheduled). Each
+//! stage runs its tasks in waves over the executor slots, then shuffles
+//! its output all-to-all to feed the next stage.
+
+/// One stage of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// Stage label (for reports).
+    pub name: String,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Mean per-task compute time, seconds.
+    pub task_compute_s: f64,
+    /// Coefficient of variation of per-task compute time (lognormal).
+    pub task_cv: f64,
+    /// Total shuffle output of this stage in bits, exchanged all-to-all
+    /// before the next stage starts (0 for the final stage typically).
+    pub shuffle_bits: f64,
+}
+
+impl StageSpec {
+    /// Convenience constructor with the default 10% task-time CV.
+    pub fn new(name: &str, tasks: usize, task_compute_s: f64, shuffle_bits: f64) -> Self {
+        StageSpec {
+            name: name.to_string(),
+            tasks,
+            task_compute_s,
+            task_cv: 0.10,
+            shuffle_bits,
+        }
+    }
+}
+
+/// A job: named sequence of stages plus shuffle-skew configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Job label (e.g. "terasort", "q65").
+    pub name: String,
+    /// Stage sequence.
+    pub stages: Vec<StageSpec>,
+    /// Shuffle imbalance: the multiplicative extra share of shuffle
+    /// data held by the job's "hot" node (Spark partitioning skew).
+    /// 0.0 = perfectly balanced. The paper attributes the Figure 18
+    /// stragglers to "application scheduling imbalances" interacting
+    /// with token buckets.
+    pub skew: f64,
+    /// Fixed hot-node index; `None` lets the engine pick one from the
+    /// run seed. Persistent partitioning skew (the same node hot across
+    /// a query sequence) is what builds the Figure 18 straggler.
+    pub hot_node: Option<usize>,
+}
+
+impl JobSpec {
+    /// A balanced job.
+    pub fn new(name: &str, stages: Vec<StageSpec>) -> Self {
+        JobSpec {
+            name: name.to_string(),
+            stages,
+            skew: 0.0,
+            hot_node: None,
+        }
+    }
+
+    /// Set the shuffle skew factor.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0);
+        self.skew = skew;
+        self
+    }
+
+    /// Pin the skew's hot node to a fixed index.
+    pub fn with_hot_node(mut self, node: usize) -> Self {
+        self.hot_node = Some(node);
+        self
+    }
+
+    /// Scale compute times and shuffle volumes (e.g. a warm-cache
+    /// "power run" re-execution has much less compute per query).
+    pub fn scaled(mut self, compute_factor: f64, shuffle_factor: f64) -> Self {
+        assert!(compute_factor > 0.0 && shuffle_factor >= 0.0);
+        for s in &mut self.stages {
+            s.task_compute_s *= compute_factor;
+            s.shuffle_bits *= shuffle_factor;
+        }
+        self
+    }
+
+    /// Total shuffle volume across stages, bits.
+    pub fn total_shuffle_bits(&self) -> f64 {
+        self.stages.iter().map(|s| s.shuffle_bits).sum()
+    }
+
+    /// Total mean compute across stages assuming one wave per stage,
+    /// seconds (a lower bound on runtime with idle network).
+    pub fn nominal_compute_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.task_compute_s).sum()
+    }
+
+    /// A crude network-intensity score: shuffle bits per second of
+    /// compute. Used by tests to check workload-profile orderings.
+    pub fn network_intensity(&self) -> f64 {
+        let c = self.nominal_compute_s();
+        if c <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_shuffle_bits() / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let job = JobSpec::new(
+            "j",
+            vec![
+                StageSpec::new("map", 100, 30.0, 1e12),
+                StageSpec::new("reduce", 50, 20.0, 0.0),
+            ],
+        );
+        assert_eq!(job.total_shuffle_bits(), 1e12);
+        assert_eq!(job.nominal_compute_s(), 50.0);
+        assert!((job.network_intensity() - 2e10).abs() < 1.0);
+        assert_eq!(job.skew, 0.0);
+    }
+
+    #[test]
+    fn skew_builder() {
+        let job = JobSpec::new("j", vec![]).with_skew(0.3);
+        assert_eq!(job.skew, 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_skew_rejected() {
+        JobSpec::new("j", vec![]).with_skew(-0.1);
+    }
+}

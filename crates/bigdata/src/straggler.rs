@@ -1,0 +1,156 @@
+//! Token-bucket-induced straggler detection (Figure 18).
+//!
+//! Figure 18 shows a TPC-DS deployment at budget = 2500 Gbit where
+//! eleven nodes keep their buckets non-empty and run at 10 Gbps while
+//! one node — loaded slightly more by scheduling imbalance — depletes
+//! its bucket and oscillates between 10 Gbps and 1 Gbps, gating every
+//! shuffle it participates in. [`detect_stragglers`] identifies such
+//! nodes from the engine's per-node traces: a straggler spends a large
+//! fraction of its *active* time at the throttled rate while its peers
+//! do not.
+
+use crate::engine::NodeTrace;
+
+/// Per-node straggling diagnosis.
+#[derive(Debug, Clone)]
+pub struct StragglerReport {
+    /// For each node: fraction of active (transmitting) samples spent
+    /// below the throttle threshold.
+    pub throttled_fraction: Vec<f64>,
+    /// For each node: fraction of samples with an empty token budget
+    /// (`0.0` when budgets are unobservable).
+    pub depleted_fraction: Vec<f64>,
+    /// Indices of nodes classified as stragglers.
+    pub stragglers: Vec<usize>,
+}
+
+impl StragglerReport {
+    /// Whether any straggler was found.
+    pub fn has_stragglers(&self) -> bool {
+        !self.stragglers.is_empty()
+    }
+}
+
+/// Analyze per-node traces.
+///
+/// `throttle_threshold_bps` separates "high QoS" from "low QoS"
+/// operation (for the paper's emulated c5.xlarge: anything well below
+/// 10 Gbps but near 1 Gbps; 2 Gbps is a good threshold). A node is a
+/// straggler when its throttled fraction exceeds both an absolute floor
+/// (20% of its active time) and 3× the median of the other nodes.
+pub fn detect_stragglers(traces: &[NodeTrace], throttle_threshold_bps: f64) -> StragglerReport {
+    let n = traces.len();
+    let mut throttled_fraction = vec![0.0; n];
+    let mut depleted_fraction = vec![0.0; n];
+
+    for (i, tr) in traces.iter().enumerate() {
+        let active: Vec<_> = tr
+            .samples
+            .iter()
+            .filter(|s| s.tx_rate_bps > 1e6)
+            .collect();
+        if !active.is_empty() {
+            let throttled = active
+                .iter()
+                .filter(|s| s.tx_rate_bps < throttle_threshold_bps)
+                .count();
+            throttled_fraction[i] = throttled as f64 / active.len() as f64;
+        }
+        let with_budget: Vec<_> = tr
+            .samples
+            .iter()
+            .filter_map(|s| s.budget_bits)
+            .collect();
+        if !with_budget.is_empty() {
+            let depleted = with_budget.iter().filter(|&&b| b < 1e9).count();
+            depleted_fraction[i] = depleted as f64 / with_budget.len() as f64;
+        }
+    }
+
+    let mut stragglers = Vec::new();
+    for i in 0..n {
+        let mut others: Vec<f64> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| throttled_fraction[j])
+            .collect();
+        others.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med_others = if others.is_empty() {
+            0.0
+        } else {
+            others[others.len() / 2]
+        };
+        if throttled_fraction[i] > 0.20 && throttled_fraction[i] > 3.0 * med_others.max(0.02) {
+            stragglers.push(i);
+        }
+    }
+
+    StragglerReport {
+        throttled_fraction,
+        depleted_fraction,
+        stragglers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{NodeTrace, TraceSample};
+
+    fn trace(node: usize, rates: &[f64]) -> NodeTrace {
+        NodeTrace {
+            node,
+            samples: rates
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| TraceSample {
+                    t: i as f64,
+                    tx_rate_bps: r,
+                    budget_bits: Some(if r < 2e9 { 0.0 } else { 1e12 }),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn detects_a_clear_straggler() {
+        let fast = vec![10e9; 50];
+        let slow: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1e9 } else { 10e9 }).collect();
+        let traces = vec![
+            trace(0, &fast),
+            trace(1, &fast),
+            trace(2, &slow),
+            trace(3, &fast),
+        ];
+        let rep = detect_stragglers(&traces, 2e9);
+        assert_eq!(rep.stragglers, vec![2]);
+        assert!(rep.throttled_fraction[2] > 0.4);
+        assert!(rep.depleted_fraction[2] > 0.4);
+        assert!(rep.has_stragglers());
+    }
+
+    #[test]
+    fn uniform_cluster_has_no_stragglers() {
+        let fast = vec![10e9; 50];
+        let traces: Vec<NodeTrace> = (0..4).map(|i| trace(i, &fast)).collect();
+        let rep = detect_stragglers(&traces, 2e9);
+        assert!(!rep.has_stragglers());
+    }
+
+    #[test]
+    fn uniformly_throttled_cluster_has_no_stragglers() {
+        // Everyone slow (budget 10 case) — no *relative* straggler.
+        let slow = vec![1e9; 50];
+        let traces: Vec<NodeTrace> = (0..4).map(|i| trace(i, &slow)).collect();
+        let rep = detect_stragglers(&traces, 2e9);
+        assert!(!rep.has_stragglers());
+        assert!(rep.throttled_fraction.iter().all(|&f| f > 0.99));
+    }
+
+    #[test]
+    fn idle_samples_do_not_count_as_throttled() {
+        let idle_then_fast: Vec<f64> = (0..50).map(|i| if i < 40 { 0.0 } else { 10e9 }).collect();
+        let traces: Vec<NodeTrace> = (0..3).map(|i| trace(i, &idle_then_fast)).collect();
+        let rep = detect_stragglers(&traces, 2e9);
+        assert!(rep.throttled_fraction.iter().all(|&f| f == 0.0));
+    }
+}

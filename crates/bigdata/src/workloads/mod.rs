@@ -1,0 +1,15 @@
+//! Calibrated workload profiles.
+//!
+//! * [`hibench`] — the five HiBench applications of Figure 16
+//!   (Terasort, WordCount, Sort, Bayes, K-Means) at the "BigData" input
+//!   size on the paper's 12×16-core cluster.
+//! * [`tpcds`] — the 21 TPC-DS queries of Figure 17 at SF-2000.
+//!
+//! Profiles are *shape-calibrated*: absolute compute times are chosen so
+//! baseline runtimes land where the paper's axes do (HiBench within
+//! 0–1000 s, TPC-DS within 0–200 s), and shuffle volumes are chosen so
+//! the network-intensity *ordering* matches the paper's findings (TS
+//! and WC most network-bound; Q65 budget-sensitive, Q82 agnostic).
+
+pub mod hibench;
+pub mod tpcds;

@@ -1,0 +1,91 @@
+//! Property-based tests over the execution engine.
+
+use bigdata::engine::{run_job_cfg, EngineConfig};
+use bigdata::{Cluster, JobSpec, StageSpec};
+use proptest::prelude::*;
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    prop::collection::vec(
+        (1usize..64, 0.5f64..20.0, 0.0f64..100e9),
+        1..5,
+    )
+    .prop_map(|stages| {
+        JobSpec::new(
+            "prop",
+            stages
+                .into_iter()
+                .enumerate()
+                .map(|(i, (tasks, compute, shuffle))| {
+                    StageSpec::new(&format!("s{i}"), tasks, compute, shuffle)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The job always terminates, lasts at least its compute lower
+    /// bound, and reports one result per stage.
+    #[test]
+    fn job_sanity(job in job_strategy(), seed in 0u64..1000, budget in 5.0f64..5000.0) {
+        let mut cluster = Cluster::ec2_emulated(3, 8, budget);
+        let r = run_job_cfg(&mut cluster, &job, seed, &EngineConfig::default());
+        prop_assert_eq!(r.stages.len(), job.stages.len());
+        prop_assert!(r.duration_s >= job.nominal_compute_s() * 0.8);
+        prop_assert!(r.duration_s.is_finite());
+        prop_assert!((r.total_compute_s() + r.total_shuffle_s() - r.duration_s).abs() < 1.0);
+    }
+
+    /// Shuffle conservation holds for arbitrary jobs and skews.
+    #[test]
+    fn shuffle_conservation(job in job_strategy(), skew in 0.0f64..1.5, seed in 0u64..1000) {
+        let job = job.with_skew(skew);
+        let mut cluster = Cluster::ec2_emulated(4, 8, 5000.0);
+        let r = run_job_cfg(&mut cluster, &job, seed, &EngineConfig::default());
+        let moved: f64 = r.node_tx_bits.iter().sum();
+        let expected = job.total_shuffle_bits();
+        if expected > 0.0 {
+            prop_assert!((moved - expected).abs() / expected < 0.01);
+        } else {
+            prop_assert_eq!(moved, 0.0);
+        }
+    }
+
+    /// Lower budgets never make a job faster (same seed).
+    #[test]
+    fn budget_weak_monotonicity(job in job_strategy(), seed in 0u64..500) {
+        let run = |budget: f64| {
+            let mut cluster = Cluster::ec2_emulated(3, 8, budget);
+            run_job_cfg(&mut cluster, &job, seed, &EngineConfig::default()).duration_s
+        };
+        let fast = run(5000.0);
+        let slow = run(5.0);
+        prop_assert!(slow >= fast - 1e-6, "slow {} fast {}", slow, fast);
+    }
+
+    /// Determinism: identical inputs give identical results, and the
+    /// fluid step size does not change bucket-driven outcomes by more
+    /// than a step's worth of time.
+    #[test]
+    fn determinism_and_step_robustness(job in job_strategy(), seed in 0u64..500) {
+        let run = |step: f64| {
+            let cfg = EngineConfig {
+                shuffle_step_s: step,
+                compute_step_s: 1.0,
+                trace_interval_s: 5.0,
+                compute_jitter_sigma: 0.0,
+            };
+            let mut cluster = Cluster::ec2_emulated(3, 8, 100.0);
+            run_job_cfg(&mut cluster, &job, seed, &cfg).duration_s
+        };
+        prop_assert_eq!(run(0.25), run(0.25));
+        let a = run(0.25);
+        let b = run(1.0);
+        // Coarser steps quantize each shuffle's end to the step, so
+        // allow one step per stage plus 2% slack.
+        let slack = job.stages.len() as f64 * 1.0 + 0.02 * a + 1.0;
+        prop_assert!((a - b).abs() <= slack, "a {} b {}", a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Amazon EC2 instance profiles (Table 3 + Figure 11).
+//!
+//! The paper measured c5.xlarge and m5.xlarge for 3 weeks each,
+//! c5.9xlarge and m4.16xlarge for a day, and probed the token-bucket
+//! constants of the whole c5.* family (Figure 11): "More expensive
+//! machines benefit from larger initial budgets, as well as higher
+//! bandwidths when their budget depletes" — the budget and the low
+//! (sustained) rate scale with instance size, while the peak rate stays
+//! 10 Gbps across the c5 family.
+//!
+//! Budgets are calibrated so the nominal time-to-empty
+//! `budget / (high − low)` lands where Figure 11's boxplots do:
+//! c5.large ≈ 5 min, c5.xlarge ≈ 9 min, c5.2xlarge ≈ 20 min,
+//! c5.4xlarge ≈ 80 min. Prices reproduce Table 3's cost column
+//! (2 VMs × 3 weeks of c5.xlarge ≈ $171).
+
+use crate::profile::{CloudProfile, Provider, QosModel};
+
+/// c5.large: 2 vCPU, 10 Gbps peak, ~0.75 Gbps sustained.
+pub fn c5_large() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "c5.large",
+        cores: 2,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(0.085),
+        qos: QosModel::TokenBucket {
+            budget_gbit: 2800.0,
+            high_gbps: 10.0,
+            low_gbps: 0.75,
+        },
+    }
+}
+
+/// c5.xlarge: the paper's flagship instance (3-week trace, Figures 6,
+/// 7, 11, 14; emulated in all big-data experiments).
+pub fn c5_xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "c5.xlarge",
+        cores: 4,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(0.17),
+        qos: QosModel::TokenBucket {
+            budget_gbit: 5000.0,
+            high_gbps: 10.0,
+            low_gbps: 1.0,
+        },
+    }
+}
+
+/// c5.2xlarge: 8 vCPU, larger bucket, 2 Gbps sustained.
+pub fn c5_2xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "c5.2xlarge",
+        cores: 8,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(0.34),
+        qos: QosModel::TokenBucket {
+            budget_gbit: 9600.0,
+            high_gbps: 10.0,
+            low_gbps: 2.0,
+        },
+    }
+}
+
+/// c5.4xlarge: 16 vCPU, ~80-minute bucket, 4 Gbps sustained.
+pub fn c5_4xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "c5.4xlarge",
+        cores: 16,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(0.68),
+        qos: QosModel::TokenBucket {
+            budget_gbit: 29000.0,
+            high_gbps: 10.0,
+            low_gbps: 4.0,
+        },
+    }
+}
+
+/// c5.9xlarge: dedicated 10 Gbps (Table 3 row; 1-day trace).
+pub fn c5_9xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "c5.9xlarge",
+        cores: 36,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(1.53),
+        qos: QosModel::Dedicated { rate_gbps: 10.0 },
+    }
+}
+
+/// m5.xlarge: general-purpose sibling of c5.xlarge (3-week trace).
+pub fn m5_xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "m5.xlarge",
+        cores: 4,
+        advertised_gbps: Some(10.0),
+        price_per_hour_usd: Some(0.192),
+        qos: QosModel::TokenBucket {
+            budget_gbit: 4300.0,
+            high_gbps: 10.0,
+            low_gbps: 1.0,
+        },
+    }
+}
+
+/// m4.16xlarge: dedicated 20 Gbps (Table 3 row; 1-day trace).
+pub fn m4_16xlarge() -> CloudProfile {
+    CloudProfile {
+        provider: Provider::AmazonEc2,
+        instance_type: "m4.16xlarge",
+        cores: 64,
+        advertised_gbps: Some(20.0),
+        price_per_hour_usd: Some(3.20),
+        qos: QosModel::Dedicated { rate_gbps: 20.0 },
+    }
+}
+
+/// The c5 family probed in Figure 11, smallest to largest.
+pub fn c5_family() -> Vec<CloudProfile> {
+    vec![c5_large(), c5_xlarge(), c5_2xlarge(), c5_4xlarge()]
+}
+
+/// Every EC2 profile of Table 3.
+pub fn all() -> Vec<CloudProfile> {
+    vec![
+        c5_xlarge(),
+        m5_xlarge(),
+        c5_9xlarge(),
+        m4_16xlarge(),
+        c5_large(),
+        c5_2xlarge(),
+        c5_4xlarge(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_and_low_rates_scale_with_size() {
+        let fam = c5_family();
+        for w in fam.windows(2) {
+            assert!(
+                w[1].nominal_budget_gbit() > w[0].nominal_budget_gbit(),
+                "{} vs {}",
+                w[0].instance_type,
+                w[1].instance_type
+            );
+            let low = |p: &CloudProfile| match p.qos {
+                QosModel::TokenBucket { low_gbps, .. } => low_gbps,
+                _ => unreachable!(),
+            };
+            assert!(low(&w[1]) > low(&w[0]));
+        }
+    }
+
+    #[test]
+    fn time_to_empty_spans_minutes_to_hours() {
+        let fam = c5_family();
+        let ttes: Vec<f64> = fam
+            .iter()
+            .map(|p| p.nominal_time_to_empty_s().unwrap())
+            .collect();
+        assert!(ttes[0] > 200.0 && ttes[0] < 400.0, "c5.large {}", ttes[0]);
+        assert!(ttes[1] > 500.0 && ttes[1] < 620.0, "c5.xlarge {}", ttes[1]);
+        assert!(ttes[3] > 3600.0 && ttes[3] < 6000.0, "c5.4xlarge {}", ttes[3]);
+        assert!(ttes.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn three_week_pair_cost_matches_table3() {
+        // Table 3: c5.xlarge, 3 weeks, $171 (a pair of VMs).
+        let p = c5_xlarge();
+        let cost = p.price_per_hour_usd.unwrap() * 2.0 * 3.0 * 7.0 * 24.0;
+        assert!((cost - 171.0).abs() < 6.0, "cost {cost}");
+        // m5.xlarge: $193.
+        let p = m5_xlarge();
+        let cost = p.price_per_hour_usd.unwrap() * 2.0 * 3.0 * 7.0 * 24.0;
+        assert!((cost - 193.0).abs() < 6.0, "cost {cost}");
+    }
+
+    #[test]
+    fn one_day_pair_costs_match_table3() {
+        // c5.9xlarge 1 day $73; m4.16xlarge 1 day $153 (pairs).
+        let c = c5_9xlarge().price_per_hour_usd.unwrap() * 2.0 * 24.0;
+        assert!((c - 73.0).abs() < 5.0, "c5.9xl {c}");
+        let m = m4_16xlarge().price_per_hour_usd.unwrap() * 2.0 * 24.0;
+        assert!((m - 153.0).abs() < 5.0, "m4.16xl {m}");
+    }
+
+    #[test]
+    fn all_profiles_are_amazon() {
+        for p in all() {
+            assert_eq!(p.provider, Provider::AmazonEc2);
+            assert!(p.advertised_gbps.is_some());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! HPCCloud (SURFsara) profiles — the private research cloud.
+//!
+//! "Small-scale (i.e., up to 100 physical machines and several hundred
+//! users) private (research) clouds do not use mechanisms to enforce
+//! network QoS" — variability comes purely from contention, and with
+//! little statistical multiplexing to smooth it (F3.2), a single noisy
+//! neighbour is visible: the measured 8-core pair ranges
+//! 7.7–10.4 Gbps over a week (Figure 4).
+
+use crate::profile::{CloudProfile, Provider, QosModel};
+
+/// HPCCloud VM with the given core count (2, 4 or 8 in Table 3).
+pub fn n_core(cores: u32) -> CloudProfile {
+    let label: &'static str = match cores {
+        2 => "2 core",
+        4 => "4 core",
+        8 => "8 core",
+        _ => "n core",
+    };
+    CloudProfile {
+        provider: Provider::HpcCloud,
+        instance_type: label,
+        cores,
+        advertised_gbps: None,   // Table 3: QoS "N/A"
+        price_per_hour_usd: None, // research cloud, no list price
+        qos: QosModel::Contention {
+            capacity_gbps: 10.4,
+        },
+    }
+}
+
+/// The three HPCCloud profiles of Table 3.
+pub fn all() -> Vec<CloudProfile> {
+    vec![n_core(2), n_core(4), n_core(8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_advertised_qos_or_price() {
+        for p in all() {
+            assert!(p.advertised_gbps.is_none());
+            assert!(p.price_per_hour_usd.is_none());
+            assert_eq!(p.provider, Provider::HpcCloud);
+        }
+    }
+
+    #[test]
+    fn instantiated_vm_is_plain_nic() {
+        let vm = n_core(8).instantiate(3);
+        assert_eq!(vm.nic.config().max_segment_bytes, 1_500.0);
+        assert_eq!(vm.budget_bits, 0.0);
+    }
+
+    #[test]
+    fn capacity_matches_figure4_ceiling() {
+        let vm = n_core(8).instantiate(1);
+        assert!((vm.line_rate_bps - 10.4e9).abs() < 1.0);
+    }
+}

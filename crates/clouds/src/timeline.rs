@@ -1,0 +1,126 @@
+//! Provider policy timelines (finding F5.5).
+//!
+//! "Network performance on clouds is largely a function of provider
+//! implementation and policies, which can change at any time. ...
+//! prior to August 2019, all c5.xlarge instances we allocated were
+//! given virtual NICs that could transmit at 10 Gbps. Starting in
+//! August, we started getting virtual NICs that were capped to 5 Gbps,
+//! though not consistently."
+//!
+//! [`PolicyTimeline`] models a provider whose allocation behaviour is a
+//! function of the (simulated) calendar date: experiments allocate VMs
+//! "on a date", and long-running studies observe policy changes
+//! mid-campaign — the scenario fingerprints exist to catch.
+
+use crate::profile::{CloudProfile, Era, Vm};
+
+/// Days since an arbitrary epoch; the paper's data spans roughly
+/// day 0 (October 2018) to day 330 (September 2019).
+pub type Day = u32;
+
+/// The day the paper first observed 5 Gbps-capped c5.xlarge NICs
+/// (August 2019, ~10 months into the campaign).
+pub const AUG_2019: Day = 300;
+
+/// A provider whose policies change over (simulated) time.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyTimeline {
+    /// The instance profile being allocated.
+    pub profile: CloudProfile,
+    /// Day at which the NIC-cap policy activates (None = never).
+    pub cap_policy_from: Option<Day>,
+}
+
+impl PolicyTimeline {
+    /// The paper's observed c5.xlarge timeline.
+    pub fn c5_xlarge_2018_2019() -> Self {
+        PolicyTimeline {
+            profile: crate::ec2::c5_xlarge(),
+            cap_policy_from: Some(AUG_2019),
+        }
+    }
+
+    /// A timeline with no policy change (e.g. GCE over the campaign).
+    pub fn stable(profile: CloudProfile) -> Self {
+        PolicyTimeline {
+            profile,
+            cap_policy_from: None,
+        }
+    }
+
+    /// The era in force on `day`.
+    pub fn era_on(&self, day: Day) -> Era {
+        match self.cap_policy_from {
+            Some(from) if day >= from => Era::PostAug2019,
+            _ => Era::PreAug2019,
+        }
+    }
+
+    /// Allocate a VM on `day` with allocation seed `seed`.
+    pub fn allocate(&self, day: Day, seed: u64) -> Vm {
+        // Mix the day into the seed so same-day allocations differ from
+        // other days even with equal seeds.
+        let mixed = netsim::rng::derive_seed(seed, day as u64);
+        self.profile.instantiate_in_era(mixed, self.era_on(day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_switches_at_the_policy_date() {
+        let tl = PolicyTimeline::c5_xlarge_2018_2019();
+        assert_eq!(tl.era_on(0), Era::PreAug2019);
+        assert_eq!(tl.era_on(AUG_2019 - 1), Era::PreAug2019);
+        assert_eq!(tl.era_on(AUG_2019), Era::PostAug2019);
+        assert_eq!(tl.era_on(AUG_2019 + 30), Era::PostAug2019);
+    }
+
+    #[test]
+    fn allocations_before_the_change_are_never_capped() {
+        let tl = PolicyTimeline::c5_xlarge_2018_2019();
+        for day in [0u32, 100, 299] {
+            for seed in 0..20 {
+                let vm = tl.allocate(day, seed);
+                assert!((vm.line_rate_bps - 10e9).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn allocations_after_the_change_are_sometimes_capped() {
+        let tl = PolicyTimeline::c5_xlarge_2018_2019();
+        let capped = (0..100)
+            .filter(|&seed| {
+                let vm = tl.allocate(AUG_2019 + 10, seed);
+                (vm.line_rate_bps - 5e9).abs() < 1.0
+            })
+            .count();
+        // "though not consistently": a fraction, not all.
+        assert!(capped > 10 && capped < 90, "capped {capped}");
+    }
+
+    #[test]
+    fn stable_timelines_never_change() {
+        let tl = PolicyTimeline::stable(crate::gce::n_core(8));
+        for day in [0u32, 500, 10_000] {
+            assert_eq!(tl.era_on(day), Era::PreAug2019);
+            let vm = tl.allocate(day, 1);
+            assert!((vm.line_rate_bps - 16e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn same_day_same_seed_is_deterministic() {
+        let tl = PolicyTimeline::c5_xlarge_2018_2019();
+        let a = tl.allocate(310, 7);
+        let b = tl.allocate(310, 7);
+        assert_eq!(a.line_rate_bps, b.line_rate_bps);
+        assert_eq!(a.budget_bits, b.budget_bits);
+        let c = tl.allocate(311, 7);
+        // Different day → (almost surely) different incarnation.
+        assert_ne!(a.budget_bits, c.budget_bits);
+    }
+}

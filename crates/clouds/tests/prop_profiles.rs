@@ -1,0 +1,88 @@
+//! Property-based tests over cloud profiles and VM instantiation.
+
+use clouds::{ballani, ec2, gce, hpccloud, Era};
+use netsim::shaper::Shaper;
+use proptest::prelude::*;
+
+fn all_profiles() -> Vec<clouds::CloudProfile> {
+    let mut v = ec2::all();
+    v.extend(gce::all());
+    v.extend(hpccloud::all());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every profile instantiates into a working VM for any seed: a
+    /// positive line rate, a shaper that grants sane volumes, and a
+    /// budget consistent with the QoS model.
+    #[test]
+    fn every_profile_instantiates(seed in 0u64..5000, idx in 0usize..14) {
+        let profiles = all_profiles();
+        let p = &profiles[idx % profiles.len()];
+        let mut vm = p.instantiate(seed);
+        prop_assert!(vm.line_rate_bps > 0.0);
+        prop_assert!(vm.budget_bits >= 0.0);
+        let mut t = 0.0;
+        for _ in 0..50 {
+            let g = vm.shaper.transmit(t, 0.1, f64::INFINITY);
+            prop_assert!(g >= 0.0);
+            // Never more than ~2.5x the nominal line rate per step
+            // (dedicated links carry light noise, buckets burst at the
+            // line rate).
+            prop_assert!(g <= 2.5 * vm.line_rate_bps * 0.1, "g {} line {}", g, vm.line_rate_bps);
+            t += 0.1;
+        }
+    }
+
+    /// Same seed → identical incarnation; different seeds → the bucket
+    /// constants vary (Figure 11's incarnation spread).
+    #[test]
+    fn instantiation_determinism(seed in 0u64..5000) {
+        let p = ec2::c5_xlarge();
+        let a = p.instantiate(seed);
+        let b = p.instantiate(seed);
+        prop_assert_eq!(a.budget_bits, b.budget_bits);
+        prop_assert_eq!(a.line_rate_bps, b.line_rate_bps);
+    }
+
+    /// The pre-Aug-2019 era never caps NICs at 5 Gbps.
+    #[test]
+    fn pre_era_never_capped(seed in 0u64..5000) {
+        let vm = ec2::c5_xlarge().instantiate_in_era(seed, Era::PreAug2019);
+        prop_assert!((vm.line_rate_bps - 10e9).abs() < 1.0);
+    }
+
+    /// Ballani distributions: quantile function is monotone, samples
+    /// live inside the defining support for every cloud and seed.
+    #[test]
+    fn ballani_support(seed in 0u64..2000, which in 0usize..8) {
+        let label = ballani::LABELS[which];
+        let d = ballani::distribution(label);
+        let lo = d.quantile(0.0);
+        let hi = d.quantile(1.0);
+        let mut rng = netsim::rng::SimRng::new(seed);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s >= lo && s <= hi);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = d.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    /// Bucket budgets jitter across incarnations but stay within ±40%
+    /// of nominal.
+    #[test]
+    fn bucket_jitter_bounded(seed in 0u64..5000) {
+        for p in ec2::c5_family() {
+            let vm = p.instantiate(seed);
+            let nominal = p.nominal_budget_gbit() * 1e9;
+            prop_assert!(vm.budget_bits >= 0.69 * nominal && vm.budget_bits <= 1.41 * nominal);
+        }
+    }
+}

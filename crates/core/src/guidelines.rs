@@ -1,0 +1,240 @@
+//! Findings F5.1–F5.5 as auditable checks.
+//!
+//! Section 5 distills the paper into five findings about running
+//! believable cloud experiments. [`audit`] turns them into a linter
+//! over an [`ExperimentDesign`] declaration: describe how you plan to
+//! run and report the experiment, get back the violated findings.
+
+use std::fmt;
+
+/// The five findings of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Finding {
+    /// F5.1: network-heavy experiments on different clouds cannot be
+    /// directly compared.
+    F51CrossCloudComparison,
+    /// F5.2: establish and verify baseline fingerprints.
+    F52Baselines,
+    /// F5.3: stochastic variability needs enough repetitions plus CI
+    /// analysis.
+    F53Repetitions,
+    /// F5.4: check iid/stationarity assumptions; reset or rest hidden
+    /// state; randomize order.
+    F54AssumptionChecks,
+    /// F5.5: publish setup details; providers change policies.
+    F55PublishSetup,
+}
+
+impl Finding {
+    /// Paper-style identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Finding::F51CrossCloudComparison => "F5.1",
+            Finding::F52Baselines => "F5.2",
+            Finding::F53Repetitions => "F5.3",
+            Finding::F54AssumptionChecks => "F5.4",
+            Finding::F55PublishSetup => "F5.5",
+        }
+    }
+}
+
+/// One audit violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which finding is violated.
+    pub finding: Finding,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.finding.id(), self.message)
+    }
+}
+
+/// Declarative description of a planned cloud experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentDesign {
+    /// Planned repetitions per treatment.
+    pub repetitions: usize,
+    /// Will medians (not just means) be reported?
+    pub reports_median: bool,
+    /// Will variability (CIs, percentiles, std dev) be reported?
+    pub reports_variability: bool,
+    /// Is the experiment order randomized?
+    pub randomized_order: bool,
+    /// Are VMs fresh per run, or is there a rest protocol between runs?
+    pub resets_or_rests: bool,
+    /// Will a baseline performance fingerprint be captured and
+    /// published alongside the results?
+    pub captures_fingerprint: bool,
+    /// Will instance types, region, and dates be published?
+    pub publishes_setup: bool,
+    /// Does the evaluation directly compare numbers measured on
+    /// different clouds (rather than re-running on each)?
+    pub compares_across_clouds: bool,
+    /// Is the workload network-intensive?
+    pub network_intensive: bool,
+    /// Minimum repetitions required for the planned CI analysis (from
+    /// [`crate::planning`]; 6 covers a 95% median CI).
+    pub minimum_repetitions: usize,
+}
+
+impl Default for ExperimentDesign {
+    /// A design following every recommendation (10 repetitions as the
+    /// floor; run the planner to refine).
+    fn default() -> Self {
+        ExperimentDesign {
+            repetitions: 10,
+            reports_median: true,
+            reports_variability: true,
+            randomized_order: true,
+            resets_or_rests: true,
+            captures_fingerprint: true,
+            publishes_setup: true,
+            compares_across_clouds: false,
+            network_intensive: true,
+            minimum_repetitions: 6,
+        }
+    }
+}
+
+/// Audit a design against F5.1–F5.5. Returns the violations (empty =
+/// compliant).
+pub fn audit(design: &ExperimentDesign) -> Vec<Violation> {
+    let mut v = Vec::new();
+
+    if design.compares_across_clouds && design.network_intensive {
+        v.push(Violation {
+            finding: Finding::F51CrossCloudComparison,
+            message: "network-heavy results measured on different clouds are \
+                      not directly comparable; re-run all systems on one cloud \
+                      or treat the cross-cloud delta as sensitivity analysis"
+                .to_string(),
+        });
+    }
+    if !design.captures_fingerprint {
+        v.push(Violation {
+            finding: Finding::F52Baselines,
+            message: "no baseline fingerprint: provider policy changes (e.g. \
+                      the Aug 2019 c5.xlarge 5 Gbps NIC cap) will be \
+                      indistinguishable from system effects"
+                .to_string(),
+        });
+    }
+    if design.repetitions < design.minimum_repetitions {
+        v.push(Violation {
+            finding: Finding::F53Repetitions,
+            message: format!(
+                "{} repetitions cannot support the planned CI analysis \
+                 (minimum {})",
+                design.repetitions, design.minimum_repetitions
+            ),
+        });
+    }
+    if !design.reports_median || !design.reports_variability {
+        v.push(Violation {
+            finding: Finding::F53Repetitions,
+            message: "report both a location estimate (median) and its \
+                      variability/confidence; most surveyed articles omit one"
+                .to_string(),
+        });
+    }
+    if !design.resets_or_rests {
+        v.push(Violation {
+            finding: Finding::F54AssumptionChecks,
+            message: "without fresh VMs or rests, hidden state (token-bucket \
+                      budgets) couples consecutive runs and breaks iid \
+                      assumptions (Figure 19)"
+                .to_string(),
+        });
+    }
+    if !design.randomized_order {
+        v.push(Violation {
+            finding: Finding::F54AssumptionChecks,
+            message: "randomize experiment order to avoid self-interference"
+                .to_string(),
+        });
+    }
+    if !design.publishes_setup {
+        v.push(Violation {
+            finding: Finding::F55PublishSetup,
+            message: "publish instance types, region, and dates; policies \
+                      change over time and results are otherwise \
+                      unverifiable"
+                .to_string(),
+        });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compliant_design_passes() {
+        assert!(audit(&ExperimentDesign::default()).is_empty());
+    }
+
+    #[test]
+    fn typical_surveyed_paper_fails_multiple_findings() {
+        // The modal surveyed article: 3 runs, means only, nothing else.
+        let design = ExperimentDesign {
+            repetitions: 3,
+            reports_median: false,
+            reports_variability: false,
+            randomized_order: false,
+            resets_or_rests: false,
+            captures_fingerprint: false,
+            publishes_setup: false,
+            compares_across_clouds: false,
+            network_intensive: true,
+            minimum_repetitions: 6,
+        };
+        let violations = audit(&design);
+        assert!(violations.len() >= 5, "{violations:#?}");
+        let findings: Vec<&str> = violations.iter().map(|v| v.finding.id()).collect();
+        assert!(findings.contains(&"F5.2"));
+        assert!(findings.contains(&"F5.3"));
+        assert!(findings.contains(&"F5.4"));
+        assert!(findings.contains(&"F5.5"));
+    }
+
+    #[test]
+    fn cross_cloud_comparison_flagged_only_when_network_heavy() {
+        let mut design = ExperimentDesign {
+            compares_across_clouds: true,
+            ..Default::default()
+        };
+        let v = audit(&design);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].finding, Finding::F51CrossCloudComparison);
+        design.network_intensive = false;
+        assert!(audit(&design).is_empty());
+    }
+
+    #[test]
+    fn repetition_floor_uses_planner_minimum() {
+        let design = ExperimentDesign {
+            repetitions: 20,
+            minimum_repetitions: 35, // e.g. a tail-quantile CI
+            ..Default::default()
+        };
+        let v = audit(&design);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].finding, Finding::F53Repetitions);
+    }
+
+    #[test]
+    fn violations_display_with_finding_ids() {
+        let design = ExperimentDesign {
+            publishes_setup: false,
+            ..Default::default()
+        };
+        let v = audit(&design);
+        let s = v[0].to_string();
+        assert!(s.starts_with("[F5.5]"), "{s}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Repetition planning (finding F5.3).
+//!
+//! "An effective way to determine whether enough repetitions have been
+//! run is to calculate confidence intervals for the median and tail,
+//! and to test whether they fall within some acceptable error bound."
+//! [`recommend_repetitions`] applies CONFIRM to pilot measurements and,
+//! when the pilot is too small to reach the bound, extrapolates the
+//! required count using the CI width's 1/√n asymptotics.
+
+use vstats::ci::{min_samples_for_ci, quantile_ci};
+use vstats::confirm::repetitions_needed;
+
+/// Outcome of repetition planning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// Repetitions after which the pilot's CI stayed within the bound,
+    /// if that happened inside the pilot.
+    pub achieved_in_pilot: Option<usize>,
+    /// Recommended repetition count (pilot evidence or extrapolation);
+    /// `None` when even extrapolation is impossible (degenerate pilot).
+    pub recommended: Option<usize>,
+    /// Relative CI error at the full pilot size.
+    pub pilot_error: Option<f64>,
+    /// Hard floor: the smallest n for which the requested CI exists at
+    /// all (e.g. 6 for a 95% median CI — "three repetitions are
+    /// insufficient to calculate CIs").
+    pub minimum_for_ci: usize,
+}
+
+/// Recommend a repetition count for estimating the `p`-quantile within
+/// `err_frac` relative error at confidence `conf`, based on `pilot`
+/// measurements.
+pub fn recommend_repetitions(
+    pilot: &[f64],
+    p: f64,
+    conf: f64,
+    err_frac: f64,
+) -> Recommendation {
+    let minimum_for_ci = min_samples_for_ci(p, conf);
+    let achieved = repetitions_needed(pilot, p, conf, err_frac);
+    let pilot_ci = quantile_ci(pilot, p, conf);
+    let pilot_error = pilot_ci.map(|ci| ci.relative_error());
+
+    let recommended = match achieved {
+        Some(n) => Some(n.max(minimum_for_ci)),
+        None => pilot_error.and_then(|e| {
+            if !e.is_finite() || e <= 0.0 {
+                return None;
+            }
+            // CI width shrinks ~ 1/sqrt(n): scale the pilot size.
+            let scale = (e / err_frac).powi(2);
+            let n = (pilot.len() as f64 * scale).ceil() as usize;
+            Some(n.max(minimum_for_ci))
+        }),
+    };
+
+    Recommendation {
+        achieved_in_pilot: achieved,
+        recommended,
+        pilot_error,
+        minimum_for_ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(n: usize, cv: f64, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| 100.0 * (1.0 + cv * (rng.gen::<f64>() - 0.5)))
+            .collect()
+    }
+
+    #[test]
+    fn quiet_pilot_achieves_bound_directly() {
+        let pilot = noisy(100, 0.02, 1);
+        let rec = recommend_repetitions(&pilot, 0.5, 0.95, 0.01);
+        assert!(rec.achieved_in_pilot.is_some());
+        assert_eq!(rec.recommended, rec.achieved_in_pilot.map(|n| n.max(6)));
+        assert_eq!(rec.minimum_for_ci, 6);
+    }
+
+    #[test]
+    fn noisy_pilot_extrapolates_upward() {
+        // 30 pilot runs with 40% spread cannot pin the median to 1%.
+        let pilot = noisy(30, 0.4, 2);
+        let rec = recommend_repetitions(&pilot, 0.5, 0.95, 0.01);
+        assert!(rec.achieved_in_pilot.is_none());
+        let n = rec.recommended.unwrap();
+        assert!(n > 100, "recommended {n}");
+        assert!(rec.pilot_error.unwrap() > 0.01);
+    }
+
+    #[test]
+    fn paper_scale_seventy_repetitions() {
+        // ~10% spread (the K-Means-on-GCE regime): 1% error bounds need
+        // on the order of 70+ repetitions (Figure 13).
+        let pilot = noisy(40, 0.10, 3);
+        let rec = recommend_repetitions(&pilot, 0.5, 0.95, 0.01);
+        let n = rec.recommended.unwrap();
+        assert!(n >= 40, "recommended {n}");
+    }
+
+    #[test]
+    fn tail_quantiles_require_more_than_medians() {
+        let pilot = noisy(60, 0.1, 4);
+        let med = recommend_repetitions(&pilot, 0.5, 0.95, 0.05);
+        let p90 = recommend_repetitions(&pilot, 0.9, 0.95, 0.05);
+        assert!(p90.minimum_for_ci > med.minimum_for_ci);
+    }
+
+    #[test]
+    fn tiny_pilot_still_produces_floor() {
+        let pilot = noisy(4, 0.1, 5);
+        let rec = recommend_repetitions(&pilot, 0.5, 0.95, 0.01);
+        // No CI at n=4, no extrapolation basis — but the floor stands.
+        assert_eq!(rec.minimum_for_ci, 6);
+        assert!(rec.pilot_error.is_none());
+        assert!(rec.recommended.is_none());
+    }
+
+    #[test]
+    fn degenerate_constant_pilot() {
+        let pilot = vec![50.0; 20];
+        let rec = recommend_repetitions(&pilot, 0.5, 0.95, 0.01);
+        // Zero-width CI: achieved immediately once the CI exists.
+        assert!(rec.achieved_in_pilot.is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! The full reproducible-experimentation protocol, orchestrated.
+//!
+//! The paper closes with: "As future work, we hope to ... develop
+//! software tools to help experimenters run reproducible experiments in
+//! the cloud." This module is that tool, assembled from the pieces the
+//! paper validates:
+//!
+//! 1. **Fingerprint** the environment and verify it against a published
+//!    baseline (F5.2) — abort early on provider policy drift.
+//! 2. **Pilot** the measurement and use CONFIRM to size the repetition
+//!    count for the target error bound (F5.3).
+//! 3. **Execute** with fresh-state resets (or planned rests) and
+//!    randomized ordering (F5.4).
+//! 4. **Validate** the collected samples against the iid battery and
+//!    report medians with nonparametric CIs (F5.3/F5.4).
+//!
+//! The protocol is generic over the measured system: the caller
+//! provides a `measure(rep, fresh) -> f64` closure (in the simulator
+//! that wraps a [`bigdata`] run; against a real cloud it would launch
+//! the real job) plus an environment hook for fingerprint capture.
+
+use crate::planning::recommend_repetitions;
+use crate::report::MeasurementReport;
+use measure::Fingerprint;
+use netsim::rng::SimRng;
+
+/// Configuration of a protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Target relative error of the median CI (e.g. 0.05).
+    pub target_error: f64,
+    /// Confidence level (e.g. 0.95).
+    pub confidence: f64,
+    /// Pilot repetitions used for planning.
+    pub pilot_runs: usize,
+    /// Hard cap on total repetitions (budget guard).
+    pub max_runs: usize,
+    /// Fingerprint drift tolerance (fraction).
+    pub fingerprint_tolerance: f64,
+    /// Shuffle the execution order of the main runs.
+    pub randomize_order: bool,
+    /// Seed for the protocol's own randomness.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            target_error: 0.05,
+            confidence: 0.95,
+            pilot_runs: 15,
+            max_runs: 200,
+            fingerprint_tolerance: 0.15,
+            randomize_order: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a protocol run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolOutcome {
+    /// Target error reached with a valid environment and assumptions.
+    Converged,
+    /// The environment fingerprint drifted from the baseline; results
+    /// must not be compared against baseline-era numbers (F5.2/F5.5).
+    EnvironmentDrift(Vec<measure::DriftFinding>),
+    /// The repetition budget ran out before the CI tightened enough.
+    BudgetExhausted,
+    /// Samples violate the iid assumptions — hidden state couples the
+    /// runs; more repetitions would NOT fix this (Figure 19's lesson).
+    AssumptionsViolated,
+}
+
+/// Result of a protocol run.
+#[derive(Debug, Clone)]
+pub struct ProtocolResult {
+    /// Outcome classification.
+    pub outcome: ProtocolOutcome,
+    /// Repetitions actually executed (pilot + main).
+    pub runs_executed: usize,
+    /// Repetition count the planner recommended after the pilot.
+    pub planned_runs: Option<usize>,
+    /// Final statistical report over all samples.
+    pub report: MeasurementReport,
+}
+
+impl ProtocolResult {
+    /// Is the result publishable by the paper's bar?
+    pub fn publishable(&self) -> bool {
+        self.outcome == ProtocolOutcome::Converged
+    }
+}
+
+/// Execute the full protocol.
+///
+/// * `baseline` — the published environment fingerprint, if any; when
+///   provided, `current_fingerprint` is compared against it first.
+/// * `current_fingerprint` — freshly captured fingerprint of the
+///   environment about to be used.
+/// * `measure` — runs one repetition and returns the metric. The
+///   arguments are `(global_rep_index, seed_for_rep)`; implementations
+///   must reset or rest their environment per the protocol (the
+///   simulator clusters do this via `reset()`).
+pub fn run_protocol<F>(
+    cfg: &ProtocolConfig,
+    baseline: Option<&Fingerprint>,
+    current_fingerprint: &Fingerprint,
+    mut measure: F,
+) -> ProtocolResult
+where
+    F: FnMut(usize, u64) -> f64,
+{
+    // Step 1: baseline verification (F5.2).
+    if let Some(base) = baseline {
+        let drift = current_fingerprint.drift(base, cfg.fingerprint_tolerance);
+        if !drift.is_empty() {
+            // Nothing measured yet; report the drift with an empty-ish
+            // report (single placeholder sample is not meaningful, so
+            // run the pilot anyway for diagnostics? No: abort early,
+            // that is the protocol's point).
+            let report = MeasurementReport::new("aborted (environment drift)", &[f64::NAN]);
+            return ProtocolResult {
+                outcome: ProtocolOutcome::EnvironmentDrift(drift),
+                runs_executed: 0,
+                planned_runs: None,
+                report,
+            };
+        }
+    }
+
+    let mut rng = SimRng::new(cfg.seed);
+    let mut samples = Vec::new();
+
+    // Step 2: pilot (F5.3).
+    let pilot_n = cfg.pilot_runs.min(cfg.max_runs);
+    for rep in 0..pilot_n {
+        samples.push(measure(rep, rng.fork(rep as u64).uniform().to_bits()));
+    }
+    let rec = recommend_repetitions(&samples, 0.5, cfg.confidence, cfg.target_error);
+    let planned = rec.recommended.map(|n| n.min(cfg.max_runs));
+
+    // Step 3: main runs up to the plan (randomized seeds; ordering of a
+    // single treatment is trivially random, the hook matters for
+    // multi-treatment protocols built on measure::ExperimentPlan).
+    let target_n = planned.unwrap_or(cfg.max_runs).max(pilot_n);
+    let mut order: Vec<usize> = (pilot_n..target_n).collect();
+    if cfg.randomize_order {
+        rng.shuffle(&mut order);
+    }
+    for rep in order {
+        if samples.len() >= cfg.max_runs {
+            break;
+        }
+        samples.push(measure(rep, rng.fork(1000 + rep as u64).uniform().to_bits()));
+    }
+
+    // Step 4: validate and classify.
+    let report = MeasurementReport::new("protocol result", &samples);
+    let assumptions_ok = report
+        .assumptions
+        .map(|a| a.iid_assumptions_hold())
+        .unwrap_or(true);
+    let ci_ok = report
+        .median_ci
+        .map(|ci| ci.relative_error() <= cfg.target_error)
+        .unwrap_or(false);
+
+    let outcome = if !assumptions_ok {
+        ProtocolOutcome::AssumptionsViolated
+    } else if ci_ok {
+        ProtocolOutcome::Converged
+    } else {
+        ProtocolOutcome::BudgetExhausted
+    };
+    ProtocolResult {
+        outcome,
+        runs_executed: samples.len(),
+        planned_runs: planned,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigdata::workloads::tpcds;
+    use bigdata::Cluster;
+
+    fn fingerprint_of(profile: &clouds::CloudProfile, seed: u64) -> Fingerprint {
+        Fingerprint::capture(profile, seed, false)
+    }
+
+    fn sim_measure(budget: f64) -> impl FnMut(usize, u64) -> f64 {
+        move |_rep, seed| {
+            let mut cluster = Cluster::ec2_emulated(4, 8, budget);
+            bigdata::run_job(&mut cluster, &tpcds::query(65), seed).duration_s
+        }
+    }
+
+    #[test]
+    fn healthy_environment_converges() {
+        let profile = clouds::ec2::c5_xlarge();
+        let base = fingerprint_of(&profile, 1);
+        let cfg = ProtocolConfig {
+            target_error: 0.05,
+            pilot_runs: 10,
+            max_runs: 60,
+            seed: 7,
+            ..Default::default()
+        };
+        let res = run_protocol(&cfg, Some(&base), &fingerprint_of(&profile, 2), sim_measure(5000.0));
+        assert_eq!(res.outcome, ProtocolOutcome::Converged, "{res:?}");
+        assert!(res.publishable());
+        assert!(res.runs_executed >= 10);
+        assert!(res.report.median_ci.unwrap().relative_error() <= 0.05);
+    }
+
+    #[test]
+    fn drifted_environment_aborts_before_spending() {
+        let profile = clouds::ec2::c5_xlarge();
+        let base = fingerprint_of(&profile, 1);
+        let mut drifted = base.clone();
+        drifted.base_bandwidth_gbps *= 0.5; // the Aug-2019 cap
+        let cfg = ProtocolConfig::default();
+        let mut runs = 0;
+        let res = run_protocol(&cfg, Some(&base), &drifted, |_r, _s| {
+            runs += 1;
+            1.0
+        });
+        assert!(matches!(res.outcome, ProtocolOutcome::EnvironmentDrift(_)));
+        assert_eq!(runs, 0, "no measurement budget spent");
+        assert!(!res.publishable());
+    }
+
+    #[test]
+    fn coupled_runs_flag_assumption_violation() {
+        // Carry-over state: one shared cluster, no resets — runtimes
+        // drift as the budget depletes (Figure 19).
+        let profile = clouds::ec2::c5_xlarge();
+        let base = fingerprint_of(&profile, 1);
+        let mut cluster = Cluster::ec2_emulated(4, 8, 900.0);
+        let cfg = ProtocolConfig {
+            target_error: 0.02,
+            pilot_runs: 10,
+            max_runs: 30,
+            randomize_order: false,
+            seed: 3,
+            ..Default::default()
+        };
+        let res = run_protocol(&cfg, Some(&base), &fingerprint_of(&profile, 2), |_rep, seed| {
+            bigdata::run_job(&mut cluster, &tpcds::query(65), seed).duration_s
+        });
+        assert_eq!(res.outcome, ProtocolOutcome::AssumptionsViolated, "{:?}", res.report.render());
+        assert!(!res.publishable());
+    }
+
+    #[test]
+    fn impossible_bound_exhausts_budget() {
+        let cfg = ProtocolConfig {
+            target_error: 0.0001,
+            pilot_runs: 8,
+            max_runs: 25,
+            seed: 5,
+            ..Default::default()
+        };
+        let fp = fingerprint_of(&clouds::gce::n_core(4), 3);
+        let mut rng = SimRng::new(9);
+        let res = run_protocol(&cfg, None, &fp, |_r, _s| 100.0 + rng.normal(0.0, 8.0));
+        assert_eq!(res.outcome, ProtocolOutcome::BudgetExhausted);
+        assert_eq!(res.runs_executed, 25);
+        assert!(res.planned_runs.is_some());
+    }
+
+    #[test]
+    fn no_baseline_skips_the_drift_gate() {
+        let fp = fingerprint_of(&clouds::hpccloud::n_core(8), 4);
+        let cfg = ProtocolConfig {
+            pilot_runs: 10,
+            max_runs: 40,
+            target_error: 0.10,
+            seed: 11,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(13);
+        let res = run_protocol(&cfg, None, &fp, |_r, _s| 50.0 + rng.normal(0.0, 1.0));
+        assert_eq!(res.outcome, ProtocolOutcome::Converged);
+    }
+}

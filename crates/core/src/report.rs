@@ -1,0 +1,155 @@
+//! Statistical reporting, the way the paper says results should be
+//! reported: location estimate *and* nonparametric confidence interval
+//! *and* variability *and* the iid-assumption battery of F5.4.
+
+use vstats::ci::{quantile_ci, QuantileCi};
+use vstats::describe::Summary;
+use vstats::htest::AssumptionReport;
+
+/// A complete report over one treatment's measurements.
+#[derive(Debug, Clone)]
+pub struct MeasurementReport {
+    /// Treatment name.
+    pub name: String,
+    /// Raw samples, execution order.
+    pub samples: Vec<f64>,
+    /// Descriptive summary (mean, std dev, CoV, percentile box).
+    pub summary: Summary,
+    /// 95% nonparametric CI of the median, when n allows.
+    pub median_ci: Option<QuantileCi>,
+    /// 95% nonparametric CI of the 90th percentile, when n allows.
+    pub p90_ci: Option<QuantileCi>,
+    /// The F5.4 assumption battery (needs n ≥ 20).
+    pub assumptions: Option<AssumptionReport>,
+}
+
+impl MeasurementReport {
+    /// Build a report from samples in execution order. Panics on an
+    /// empty sample.
+    pub fn new(name: &str, samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "report of empty sample");
+        let distinct = samples.windows(2).any(|w| w[0] != w[1]);
+        MeasurementReport {
+            name: name.to_string(),
+            samples: samples.to_vec(),
+            summary: Summary::from_samples(samples),
+            median_ci: quantile_ci(samples, 0.5, 0.95),
+            p90_ci: quantile_ci(samples, 0.9, 0.95),
+            assumptions: (samples.len() >= 20 && distinct)
+                .then(|| AssumptionReport::run(samples)),
+        }
+    }
+
+    /// Is this result publishable by the paper's bar: a median CI
+    /// exists, its relative error is within `err_frac`, and no
+    /// assumption violation was detected?
+    pub fn publishable(&self, err_frac: f64) -> bool {
+        let ci_ok = self
+            .median_ci
+            .map(|ci| ci.relative_error() <= err_frac)
+            .unwrap_or(false);
+        let assumptions_ok = self
+            .assumptions
+            .map(|a| a.iid_assumptions_hold())
+            .unwrap_or(true);
+        ci_ok && assumptions_ok
+    }
+
+    /// Render a human-readable block (used by examples and benches).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let s = &self.summary;
+        out.push_str(&format!(
+            "{}: n={} mean={:.3} sd={:.3} (CoV {:.1}%)\n",
+            self.name,
+            s.n,
+            s.mean,
+            s.std_dev,
+            s.cov * 100.0
+        ));
+        out.push_str(&format!(
+            "  percentiles: p1={:.3} p25={:.3} median={:.3} p75={:.3} p99={:.3}\n",
+            s.box_summary.p1, s.box_summary.p25, s.box_summary.p50, s.box_summary.p75, s.box_summary.p99
+        ));
+        match self.median_ci {
+            Some(ci) => out.push_str(&format!(
+                "  median 95% CI: [{:.3}, {:.3}] (±{:.2}%)\n",
+                ci.lower,
+                ci.upper,
+                ci.relative_error() * 100.0
+            )),
+            None => out.push_str("  median 95% CI: not computable at this n\n"),
+        }
+        match self.p90_ci {
+            Some(ci) => out.push_str(&format!(
+                "  p90    95% CI: [{:.3}, {:.3}]\n",
+                ci.lower, ci.upper
+            )),
+            None => out.push_str("  p90    95% CI: not computable at this n\n"),
+        }
+        if let Some(a) = self.assumptions {
+            out.push_str(&format!(
+                "  assumptions: normality p={:.3}, split-half p={:.3}, \
+                 stationary(5%)={}, Ljung-Box p={:.3} -> iid {}\n",
+                a.normality_p,
+                a.independence_p,
+                a.stationary_5pct,
+                a.ljung_box_p,
+                if a.iid_assumptions_hold() { "OK" } else { "VIOLATED" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| 100.0 + 4.0 * (rng.gen::<f64>() - 0.5)).collect()
+    }
+
+    #[test]
+    fn healthy_sample_is_publishable() {
+        let r = MeasurementReport::new("bench", &noisy(60, 11));
+        assert!(r.median_ci.is_some());
+        assert!(r.assumptions.is_some());
+        assert!(r.publishable(0.05), "{}", r.render());
+    }
+
+    #[test]
+    fn small_sample_is_not_publishable() {
+        let r = MeasurementReport::new("bench", &noisy(4, 2));
+        assert!(r.median_ci.is_none());
+        assert!(!r.publishable(0.05));
+    }
+
+    #[test]
+    fn drifting_sample_fails_assumptions() {
+        let xs: Vec<f64> = (0..80)
+            .map(|i| 100.0 + i as f64 * 1.5 + ((i * 13) % 7) as f64)
+            .collect();
+        let r = MeasurementReport::new("drift", &xs);
+        assert!(!r.assumptions.unwrap().iid_assumptions_hold());
+        assert!(!r.publishable(0.5));
+    }
+
+    #[test]
+    fn render_contains_the_key_numbers() {
+        let r = MeasurementReport::new("kmeans", &noisy(50, 3));
+        let s = r.render();
+        assert!(s.contains("kmeans"));
+        assert!(s.contains("median 95% CI"));
+        assert!(s.contains("assumptions"));
+    }
+
+    #[test]
+    fn constant_sample_skips_assumption_battery() {
+        let r = MeasurementReport::new("const", &[5.0; 30]);
+        assert!(r.assumptions.is_none());
+        assert!(r.median_ci.is_some());
+    }
+}

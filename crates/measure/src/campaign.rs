@@ -1,0 +1,281 @@
+//! Bandwidth measurement campaigns (Section 3.1).
+//!
+//! "In the studied clouds, for each pair of VMs of similar instance
+//! types, we measured bandwidth continuously for one week" under three
+//! access patterns, summarizing every 10 seconds. [`run_campaign`]
+//! reproduces one such pair-week (or any other duration) against a
+//! simulated cloud profile.
+
+use clouds::CloudProfile;
+use netsim::pattern::TrafficPattern;
+use netsim::tcp::{StreamConfig, StreamSim};
+use netsim::trace::BandwidthTrace;
+use vstats::describe::Summary;
+
+/// Result of one measurement campaign (one VM pair, one pattern).
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Provider name ("Amazon", "Google", "HPCCloud").
+    pub provider: &'static str,
+    /// Instance type label.
+    pub instance_type: &'static str,
+    /// Traffic pattern label ("full-speed", "10-30", "5-30").
+    pub pattern: String,
+    /// Campaign duration in seconds.
+    pub duration_s: f64,
+    /// The 10-second bandwidth summaries.
+    pub trace: BandwidthTrace,
+    /// Descriptive statistics of the per-interval bandwidths.
+    pub summary: Summary,
+    /// Total retransmissions observed.
+    pub total_retransmissions: u64,
+    /// Total bits transferred.
+    pub total_bits: f64,
+    /// Cost of the pair for the duration, USD (None for HPCCloud).
+    pub cost_usd: Option<f64>,
+}
+
+impl CampaignResult {
+    /// Table 3's "Exhibits Variability" column: does the campaign show
+    /// non-trivial bandwidth variability? (Coefficient of variation
+    /// above 1% or a consecutive-sample swing above 5%.)
+    pub fn exhibits_variability(&self) -> bool {
+        self.summary.cov > 0.01 || self.trace.max_consecutive_swing() > 0.05
+    }
+
+    /// Mean goodput while transmitting, bits/s.
+    pub fn mean_bandwidth_bps(&self) -> f64 {
+        self.summary.mean
+    }
+}
+
+/// Run a campaign of `duration_s` seconds on `profile` under `pattern`.
+///
+/// `seed` selects the VM incarnation and all stochastic behaviour; the
+/// same seed reproduces the campaign bit-for-bit.
+///
+/// ```
+/// use measure::run_campaign;
+/// use netsim::TrafficPattern;
+///
+/// let profile = clouds::hpccloud::n_core(8);
+/// let res = run_campaign(&profile, TrafficPattern::FullSpeed, 7200.0, 7);
+/// assert_eq!(res.provider, "HPCCloud");
+/// assert!(res.exhibits_variability()); // a contention episode hit
+/// assert!(res.summary.max <= 10.4e9 + 1.0); // Figure 4's ceiling
+/// ```
+pub fn run_campaign(
+    profile: &CloudProfile,
+    pattern: TrafficPattern,
+    duration_s: f64,
+    seed: u64,
+) -> CampaignResult {
+    let mut vm = profile.instantiate(seed);
+    let cfg = StreamConfig::new(duration_s, pattern);
+    let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
+    let bandwidths = res.bandwidth.bandwidths();
+    assert!(
+        !bandwidths.is_empty(),
+        "campaign produced no samples — duration too short for pattern?"
+    );
+    let summary = Summary::from_samples(&bandwidths);
+    let hours = duration_s / 3600.0;
+    CampaignResult {
+        provider: profile.provider.name(),
+        instance_type: profile.instance_type,
+        pattern: pattern.label(),
+        duration_s,
+        total_retransmissions: res.bandwidth.total_retransmissions(),
+        total_bits: res.bandwidth.total_bits(),
+        cost_usd: profile.price_per_hour_usd.map(|p| p * 2.0 * hours),
+        summary,
+        trace: res.bandwidth,
+    }
+}
+
+/// Run all three paper patterns on a profile; returns results in
+/// `[full-speed, 10-30, 5-30]` order.
+pub fn run_all_patterns(
+    profile: &CloudProfile,
+    duration_s: f64,
+    seed: u64,
+) -> Vec<CampaignResult> {
+    TrafficPattern::ALL
+        .iter()
+        .map(|&p| run_campaign(profile, p, duration_s, seed))
+        .collect()
+}
+
+/// Summary of a multi-pair fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-pair campaign results (one VM-pair incarnation each).
+    pub pairs: Vec<CampaignResult>,
+    /// Summary over the per-pair *mean* bandwidths (spatial
+    /// heterogeneity: pair-to-pair differences).
+    pub across_pairs: Summary,
+    /// Mean of the per-pair coefficients of variation (temporal
+    /// variability within a pair).
+    pub mean_within_pair_cov: f64,
+}
+
+impl FleetResult {
+    /// Spatial CoV: variation of mean bandwidth across pairs.
+    pub fn across_pair_cov(&self) -> f64 {
+        self.across_pairs.cov
+    }
+}
+
+/// Measure `n_pairs` independent VM pairs of the same instance type
+/// (each with its own incarnation seed) — the paper's campaigns measure
+/// per-pair, and the Ballani data (Figure 2) shows how much *pairs*
+/// differ within a cloud. Separating within-pair (temporal) from
+/// across-pair (spatial) variability tells an experimenter whether more
+/// time or more allocations reduce their error.
+pub fn run_fleet(
+    profile: &CloudProfile,
+    pattern: TrafficPattern,
+    duration_s: f64,
+    n_pairs: usize,
+    seed: u64,
+) -> FleetResult {
+    assert!(n_pairs >= 1);
+    let pairs: Vec<CampaignResult> = (0..n_pairs)
+        .map(|i| {
+            run_campaign(
+                profile,
+                pattern,
+                duration_s,
+                netsim::rng::derive_seed(seed, i as u64),
+            )
+        })
+        .collect();
+    let means: Vec<f64> = pairs.iter().map(|p| p.mean_bandwidth_bps()).collect();
+    let mean_within = pairs.iter().map(|p| p.summary.cov).sum::<f64>() / n_pairs as f64;
+    FleetResult {
+        across_pairs: Summary::from_samples(&means),
+        mean_within_pair_cov: mean_within,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::{gbps, hours};
+
+    #[test]
+    fn hpccloud_campaign_matches_figure4_range() {
+        let p = clouds::hpccloud::n_core(8);
+        let r = run_campaign(&p, TrafficPattern::FullSpeed, hours(12.0), 1);
+        assert!(r.summary.min > gbps(7.0), "min {}", r.summary.min);
+        assert!(r.summary.max <= gbps(10.4) + 1.0);
+        assert!(r.exhibits_variability());
+        assert!(r.cost_usd.is_none());
+    }
+
+    #[test]
+    fn ec2_pattern_ordering_matches_figure6() {
+        // Steady-state: full-speed ≈ 1 Gbps, 10-30 ≈ 4 Gbps (≈3-4×),
+        // 5-30 ≈ 7 Gbps (≈7×).
+        let p = clouds::ec2::c5_xlarge();
+        let rs = run_all_patterns(&p, hours(4.0), 2);
+        let full = rs[0].mean_bandwidth_bps();
+        let ten = rs[1].mean_bandwidth_bps();
+        let five = rs[2].mean_bandwidth_bps();
+        assert!(ten > 2.0 * full, "10-30 {ten} vs full {full}");
+        assert!(five > ten, "5-30 {five} vs 10-30 {ten}");
+        assert!(five > 4.0 * full, "5-30 {five} vs full {full}");
+    }
+
+    #[test]
+    fn gce_pattern_ordering_is_opposite_of_ec2() {
+        // Figure 5: longer streams do BETTER on Google Cloud.
+        let p = clouds::gce::n_core(8);
+        let rs = run_all_patterns(&p, hours(6.0), 3);
+        let full = rs[0].mean_bandwidth_bps();
+        let five = rs[2].mean_bandwidth_bps();
+        assert!(full > five, "full {full} vs 5-30 {five}");
+        assert!(full > gbps(14.8) && full < gbps(16.0));
+        // 5-30 has the long tail: its minimum dips further.
+        assert!(rs[2].summary.min < rs[0].summary.min);
+    }
+
+    #[test]
+    fn google_retransmissions_dominate() {
+        // Figure 9: Amazon and HPCCloud negligible; Google common.
+        let d = hours(2.0);
+        let ec2 = run_campaign(&clouds::ec2::c5_xlarge(), TrafficPattern::FullSpeed, d, 4);
+        let gce = run_campaign(&clouds::gce::n_core(8), TrafficPattern::FullSpeed, d, 4);
+        let hpc = run_campaign(&clouds::hpccloud::n_core(8), TrafficPattern::FullSpeed, d, 4);
+        assert!(
+            gce.total_retransmissions > 20 * ec2.total_retransmissions.max(1),
+            "gce {} ec2 {}",
+            gce.total_retransmissions,
+            ec2.total_retransmissions
+        );
+        assert!(gce.total_retransmissions > 20 * hpc.total_retransmissions.max(1));
+    }
+
+    #[test]
+    fn ec2_total_traffic_is_pattern_insensitive_gce_is_not() {
+        // Figure 10: EC2's three patterns move similar total volume
+        // (the token bucket equalizes them); GCE full-speed moves far
+        // more than its duty-cycled patterns.
+        let d = hours(6.0);
+        let ec2: Vec<f64> = run_all_patterns(&clouds::ec2::c5_xlarge(), d, 5)
+            .iter()
+            .map(|r| r.total_bits)
+            .collect();
+        let gce: Vec<f64> = run_all_patterns(&clouds::gce::n_core(8), d, 5)
+            .iter()
+            .map(|r| r.total_bits)
+            .collect();
+        let ec2_ratio = ec2[0] / ec2[2];
+        let gce_ratio = gce[0] / gce[2];
+        assert!(ec2_ratio < 3.0, "ec2 full/5-30 {ec2_ratio}");
+        assert!(gce_ratio > 5.0, "gce full/5-30 {gce_ratio}");
+    }
+
+    #[test]
+    fn cost_accounting_matches_table3_scale() {
+        let p = clouds::ec2::c5_xlarge();
+        let r = run_campaign(&p, TrafficPattern::FullSpeed, 3.0 * 7.0 * 86_400.0, 6);
+        let cost = r.cost_usd.unwrap();
+        assert!((cost - 171.0).abs() < 10.0, "cost {cost}");
+    }
+
+    #[test]
+    fn fleet_separates_spatial_from_temporal_variability() {
+        // HPCCloud pairs differ through contention episodes; within-
+        // pair CoV should be non-trivial and across-pair means spread.
+        let p = clouds::hpccloud::n_core(8);
+        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, hours(3.0), 6, 11);
+        assert_eq!(fleet.pairs.len(), 6);
+        assert!(fleet.mean_within_pair_cov > 0.002, "{}", fleet.mean_within_pair_cov);
+        assert!(fleet.across_pair_cov() >= 0.0);
+        // All pairs share the same ceiling.
+        for pair in &fleet.pairs {
+            assert!(pair.summary.max <= gbps(10.4) + 1.0);
+        }
+    }
+
+    #[test]
+    fn fleet_pairs_use_distinct_incarnations() {
+        let p = clouds::ec2::c5_xlarge();
+        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, 1800.0, 4, 3);
+        // Bucket budgets differ per pair, so depletion times differ, so
+        // mean bandwidths over 30 min differ.
+        let means: Vec<f64> = fleet.pairs.iter().map(|r| r.mean_bandwidth_bps()).collect();
+        let all_equal = means.windows(2).all(|w| (w[0] - w[1]).abs() < 1.0);
+        assert!(!all_equal, "{means:?}");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let p = clouds::gce::n_core(4);
+        let a = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7);
+        let b = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7);
+        assert_eq!(a.trace.samples, b.trace.samples);
+    }
+}

@@ -1,0 +1,164 @@
+//! Latency measurement (Figures 7, 8, 12).
+//!
+//! The paper measures "the application-observed TCP RTT, as this is
+//! what impacts the high-level networking stacks of big data
+//! frameworks": 10-second iperf streams, packet captures, offline RTT
+//! extraction. Here, [`rtt_stream`] runs the simulated equivalent, and
+//! [`write_size_sweep`] reproduces Figure 12's experiment — latency,
+//! bandwidth, and retransmissions as functions of the application's
+//! `write()` size.
+
+use clouds::{CloudProfile, Vm};
+use netsim::pattern::TrafficPattern;
+use netsim::tcp::{StreamConfig, StreamSim};
+use netsim::trace::RttTrace;
+use vstats::describe::quantile;
+
+/// Run a `duration_s` full-speed stream against an instantiated VM and
+/// collect `samples_per_interval` RTT observations per 10-second
+/// summary interval.
+pub fn rtt_stream(
+    vm: &mut Vm,
+    duration_s: f64,
+    write_bytes: f64,
+    samples_per_interval: usize,
+) -> RttTrace {
+    let cfg = StreamConfig::new(duration_s, TrafficPattern::FullSpeed)
+        .with_write_bytes(write_bytes)
+        .with_rtt_samples(samples_per_interval);
+    StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg).rtt
+}
+
+/// One point of the Figure 12 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteSizePoint {
+    /// Application `write()` size in bytes.
+    pub write_bytes: f64,
+    /// Mean observed RTT, seconds.
+    pub mean_rtt_s: f64,
+    /// 99th-percentile RTT, seconds.
+    pub p99_rtt_s: f64,
+    /// Mean achieved bandwidth, bits/s.
+    pub mean_bandwidth_bps: f64,
+    /// Retransmissions per gigabyte moved.
+    pub retrans_per_gb: f64,
+}
+
+/// Sweep `write()` sizes on a profile (Figure 12). Each point runs a
+/// fresh VM for `duration_s` at full speed.
+pub fn write_size_sweep(
+    profile: &CloudProfile,
+    write_sizes_bytes: &[f64],
+    duration_s: f64,
+    seed: u64,
+) -> Vec<WriteSizePoint> {
+    write_sizes_bytes
+        .iter()
+        .map(|&wb| {
+            let mut vm = profile.instantiate(seed);
+            let cfg = StreamConfig::new(duration_s, TrafficPattern::FullSpeed)
+                .with_write_bytes(wb)
+                .with_rtt_samples(40);
+            let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
+            let rtts = res.rtt.rtts();
+            let gb = res.bandwidth.total_bits() / 8e9;
+            WriteSizePoint {
+                write_bytes: wb,
+                mean_rtt_s: res.rtt.mean(),
+                p99_rtt_s: if rtts.is_empty() {
+                    0.0
+                } else {
+                    quantile(&rtts, 0.99)
+                },
+                mean_bandwidth_bps: res.bandwidth.mean_bandwidth(),
+                retrans_per_gb: if gb > 0.0 {
+                    res.bandwidth.total_retransmissions() as f64 / gb
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// The write sizes highlighted by Figure 12 (1 KB … 128 KB).
+pub fn figure12_write_sizes() -> Vec<f64> {
+    vec![1024.0, 4096.0, 9000.0, 16384.0, 32768.0, 65536.0, 131072.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::gbps;
+
+    #[test]
+    fn ec2_throttled_rtt_two_orders_above_base() {
+        // Figure 7: sub-ms at 10 Gbps, tens of ms once throttled.
+        let p = clouds::ec2::c5_xlarge();
+        let mut vm = p.instantiate(1);
+        // First 60 s: full budget → fast.
+        let fast = rtt_stream(&mut vm, 60.0, 131_072.0, 50);
+        // Deplete and measure again on the same VM.
+        let mut vm2 = p.instantiate(1);
+        let cfg = StreamConfig::new(700.0, TrafficPattern::FullSpeed).with_rtt_samples(0);
+        StreamSim::run(&mut vm2.shaper, &mut vm2.nic, &cfg);
+        let slow = rtt_stream(&mut vm2, 60.0, 131_072.0, 50);
+        assert!(fast.mean() < 1.2e-3, "fast {}", fast.mean());
+        assert!(slow.mean() > 20.0 * fast.mean(), "slow {} fast {}", slow.mean(), fast.mean());
+    }
+
+    #[test]
+    fn gce_rtt_is_milliseconds_bounded_by_10ms() {
+        // Figure 8: millisecond-scale with an upper limit near 10 ms.
+        let p = clouds::gce::n_core(4);
+        let mut vm = p.instantiate(2);
+        let tr = rtt_stream(&mut vm, 120.0, 131_072.0, 100);
+        assert!(tr.mean() > 1.5e-3 && tr.mean() < 8e-3, "mean {}", tr.mean());
+        let rtts = tr.rtts();
+        let p999 = quantile(&rtts, 0.999);
+        assert!(p999 < 25e-3, "p999 {p999}");
+    }
+
+    #[test]
+    fn gce_9k_writes_give_2ms_and_near_zero_retrans() {
+        // Section 3.3: "when we limited our benchmarks to writes of 9K,
+        // we got near-zero packet retransmission and an average RTT of
+        // about 2.3ms".
+        let p = clouds::gce::n_core(4);
+        let pts = write_size_sweep(&p, &[9_000.0, 131_072.0], 600.0, 3);
+        let small = &pts[0];
+        let large = &pts[1];
+        assert!(
+            small.mean_rtt_s > 1.5e-3 && small.mean_rtt_s < 3.2e-3,
+            "9K rtt {}",
+            small.mean_rtt_s
+        );
+        assert!(large.mean_rtt_s > 1.5 * small.mean_rtt_s);
+        assert!(
+            large.retrans_per_gb > 5.0 * (small.retrans_per_gb + 0.01),
+            "small {} large {}",
+            small.retrans_per_gb,
+            large.retrans_per_gb
+        );
+    }
+
+    #[test]
+    fn ec2_latency_flattens_beyond_mtu() {
+        // Figure 12: EC2 "packets" cap at the 9K MTU, so latency stops
+        // growing with the write size past it.
+        let p = clouds::ec2::c5_xlarge();
+        let pts = write_size_sweep(&p, &[9_000.0, 131_072.0], 120.0, 4);
+        let ratio = pts[1].mean_rtt_s / pts[0].mean_rtt_s;
+        assert!(ratio < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bandwidth_is_reported_per_point() {
+        let p = clouds::gce::n_core(8);
+        let pts = write_size_sweep(&p, &figure12_write_sizes(), 120.0, 5);
+        assert_eq!(pts.len(), 7);
+        for pt in pts {
+            assert!(pt.mean_bandwidth_bps > gbps(10.0), "{:?}", pt);
+        }
+    }
+}

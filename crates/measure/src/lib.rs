@@ -1,0 +1,35 @@
+#![deny(missing_docs)]
+
+//! # measure — the cloud-network measurement harness
+//!
+//! Simulated counterpart of the paper's data-collection tooling (iperf
+//! streams, tcpdump RTT analysis, token-bucket probing, and the
+//! experimentation protocols of Section 5):
+//!
+//! * [`campaign`] — week-scale bandwidth campaigns per cloud and
+//!   traffic pattern, producing the 10-second summaries behind
+//!   Figures 4–6, 9, 10 and Table 3.
+//! * [`latency`] — per-segment RTT collection (Figures 7, 8) and the
+//!   `write()`-size sweep of Figure 12.
+//! * [`probe`] — black-box identification of token-bucket parameters
+//!   (Figure 11): time-to-empty, high and low rates, budget estimate.
+//! * [`fingerprint`] — performance fingerprints (finding F5.2): capture
+//!   baseline network behaviour, serialize it alongside results, and
+//!   detect provider policy drift before new experiments.
+//! * [`experiment`] — a generic repetition runner implementing the
+//!   paper's protocol recommendations: repetitions, randomized
+//!   ordering, rests, fresh environments.
+
+pub mod campaign;
+pub mod experiment;
+pub mod fingerprint;
+pub mod latency;
+pub mod pcap;
+pub mod probe;
+pub mod rest;
+
+pub use campaign::{run_campaign, run_fleet, CampaignResult, FleetResult};
+pub use experiment::{ExperimentPlan, ExperimentReport};
+pub use fingerprint::{DriftFinding, Fingerprint};
+pub use probe::{probe_instance_type, probe_token_bucket, BucketEstimate};
+pub use rest::RestPlanner;

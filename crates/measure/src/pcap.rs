@@ -1,0 +1,219 @@
+//! Packet-capture-style measurement (Section 3.2's methodology).
+//!
+//! The paper measures RTT by "capturing all packet headers with tcpdump
+//! [and performing] an offline analysis of the packet dumps using
+//! wireshark, which compares the time between when a TCP segment is
+//! sent to the (virtual) device and when it is acknowledged." This
+//! module reproduces that pipeline shape:
+//!
+//! * [`capture`] runs a stream and records one [`SegmentRecord`] per
+//!   sampled segment — send time, ack time, size, retransmission flag —
+//!   the simulated analogue of a packet dump;
+//! * [`analyze`] post-processes a capture offline into the statistics
+//!   the paper plots (RTT percentiles, retransmission counts, and the
+//!   throttling transition, if any).
+
+use clouds::Vm;
+use netsim::shaper::Shaper;
+use vstats::describe::quantile;
+
+/// One captured segment (the "packet dump" row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentRecord {
+    /// Send timestamp, seconds from capture start.
+    pub sent_at_s: f64,
+    /// Observed RTT (send → ack), seconds.
+    pub rtt_s: f64,
+    /// Segment size in bytes as seen by the virtual NIC.
+    pub segment_bytes: f64,
+    /// Whether the segment was retransmitted before being acked.
+    pub retransmitted: bool,
+}
+
+/// A capture: time-ordered segment records plus the link-rate series
+/// the capture observed (for correlating RTT with throttling).
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Per-segment records.
+    pub segments: Vec<SegmentRecord>,
+    /// `(t, rate_bps)` the path offered while capturing.
+    pub rate_series: Vec<(f64, f64)>,
+}
+
+/// Offline analysis of a capture.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureAnalysis {
+    /// Number of segments captured.
+    pub segments: usize,
+    /// Median RTT, seconds.
+    pub rtt_p50_s: f64,
+    /// 99th-percentile RTT, seconds.
+    pub rtt_p99_s: f64,
+    /// Retransmission fraction.
+    pub retrans_fraction: f64,
+    /// Time at which the path's rate dropped below 60% of its initial
+    /// value, if it did (the token-bucket throttling transition).
+    pub throttle_at_s: Option<f64>,
+    /// Ratio of median RTT after vs before the throttle transition
+    /// (1.0 when no transition).
+    pub rtt_blowup: f64,
+}
+
+/// Capture `samples_per_second` segments per second for `duration_s`
+/// on a full-speed stream over the VM.
+pub fn capture(vm: &mut Vm, duration_s: f64, write_bytes: f64, samples_per_second: f64) -> Capture {
+    assert!(duration_s > 0.0 && samples_per_second > 0.0);
+    let dt = 0.1;
+    let steps = (duration_s / dt).round() as usize;
+    let per_step = samples_per_second * dt;
+    let mut cap = Capture::default();
+    let mut emitted = 0u64;
+    for i in 0..steps {
+        let t = i as f64 * dt;
+        let granted = vm.shaper.transmit(t, dt, f64::INFINITY);
+        let rate = granted / dt;
+        cap.rate_series.push((t, rate));
+        // Emit enough samples this step to keep the cumulative count on
+        // schedule (handles both <1 and >1 samples per step).
+        let due = ((i + 1) as f64 * per_step).floor() as u64;
+        while emitted < due {
+            let frac = (emitted - (i as f64 * per_step) as u64) as f64 / per_step.max(1.0);
+            let outcome = vm.nic.send_segment(write_bytes, rate.max(1e6));
+            cap.segments.push(SegmentRecord {
+                sent_at_s: t + frac.clamp(0.0, 0.99) * dt,
+                rtt_s: outcome.rtt_s(),
+                segment_bytes: vm.nic.segment_bytes(write_bytes),
+                retransmitted: outcome.is_retransmitted(),
+            });
+            emitted += 1;
+        }
+    }
+    cap
+}
+
+/// Offline analysis (the "wireshark" step).
+pub fn analyze(cap: &Capture) -> CaptureAnalysis {
+    assert!(!cap.segments.is_empty(), "empty capture");
+    let rtts: Vec<f64> = cap.segments.iter().map(|s| s.rtt_s).collect();
+    let retrans = cap.segments.iter().filter(|s| s.retransmitted).count();
+
+    // Throttle detection from the rate series.
+    let initial_rate = cap
+        .rate_series
+        .iter()
+        .take(10)
+        .map(|&(_, r)| r)
+        .sum::<f64>()
+        / cap.rate_series.len().min(10) as f64;
+    let throttle_at_s = cap
+        .rate_series
+        .iter()
+        .find(|&&(_, r)| r < 0.6 * initial_rate)
+        .map(|&(t, _)| t);
+
+    let rtt_blowup = match throttle_at_s {
+        Some(t0) => {
+            let before: Vec<f64> = cap
+                .segments
+                .iter()
+                .filter(|s| s.sent_at_s < t0)
+                .map(|s| s.rtt_s)
+                .collect();
+            let after: Vec<f64> = cap
+                .segments
+                .iter()
+                .filter(|s| s.sent_at_s >= t0)
+                .map(|s| s.rtt_s)
+                .collect();
+            if before.is_empty() || after.is_empty() {
+                1.0
+            } else {
+                quantile(&after, 0.5) / quantile(&before, 0.5)
+            }
+        }
+        None => 1.0,
+    };
+
+    CaptureAnalysis {
+        segments: cap.segments.len(),
+        rtt_p50_s: quantile(&rtts, 0.5),
+        rtt_p99_s: quantile(&rtts, 0.99),
+        retrans_fraction: retrans as f64 / cap.segments.len() as f64,
+        throttle_at_s,
+        rtt_blowup,
+    }
+}
+
+impl Capture {
+    /// Render the segment records as CSV
+    /// (`sent_at_s,rtt_s,segment_bytes,retransmitted`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("sent_at_s,rtt_s,segment_bytes,retransmitted\n");
+        for s in &self.segments {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.sent_at_s, s.rtt_s, s.segment_bytes, s.retransmitted as u8
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gce_capture_matches_figure8_statistics() {
+        let mut vm = clouds::gce::n_core(4).instantiate(1);
+        let cap = capture(&mut vm, 60.0, 131_072.0, 20.0);
+        let a = analyze(&cap);
+        assert!(a.segments > 1000);
+        assert!(a.rtt_p50_s > 1.5e-3 && a.rtt_p50_s < 8e-3, "p50 {}", a.rtt_p50_s);
+        assert!(a.rtt_p99_s < 30e-3);
+        assert!(a.throttle_at_s.is_none(), "GCE has no bucket");
+        assert!((a.rtt_blowup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ec2_capture_sees_the_throttle_transition() {
+        // Small preset budget so the drop happens inside the capture.
+        let mut vm = clouds::ec2::c5_xlarge().instantiate(2);
+        // Drain most of the budget first: 500 s of full speed.
+        let mut t = 0.0;
+        while t < 520.0 {
+            vm.shaper.transmit(t, 0.5, f64::INFINITY);
+            t += 0.5;
+        }
+        let cap = capture(&mut vm, 120.0, 131_072.0, 20.0);
+        let a = analyze(&cap);
+        let t0 = a.throttle_at_s.expect("throttle inside the window");
+        assert!(t0 < 90.0, "throttle at {t0}");
+        // RTT blows up by well over an order of magnitude (Figure 7).
+        assert!(a.rtt_blowup > 10.0, "blowup {}", a.rtt_blowup);
+    }
+
+    #[test]
+    fn retransmission_fraction_tracks_write_size() {
+        let mut vm = clouds::gce::n_core(8).instantiate(3);
+        let big = analyze(&capture(&mut vm, 120.0, 131_072.0, 50.0));
+        let mut vm = clouds::gce::n_core(8).instantiate(3);
+        let small = analyze(&capture(&mut vm, 120.0, 9_000.0, 50.0));
+        assert!(big.retrans_fraction >= small.retrans_fraction);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut vm = clouds::hpccloud::n_core(8).instantiate(4);
+        let cap = capture(&mut vm, 5.0, 9_000.0, 10.0);
+        let csv = cap.to_csv();
+        assert!(csv.starts_with("sent_at_s,rtt_s,segment_bytes,retransmitted\n"));
+        assert_eq!(csv.lines().count(), cap.segments.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty capture")]
+    fn analyze_rejects_empty() {
+        analyze(&Capture::default());
+    }
+}

@@ -1,0 +1,164 @@
+//! Black-box token-bucket parameter identification (Figure 11).
+//!
+//! The paper's method: "For each VM type, we ran an iperf test
+//! continuously until the achieved bandwidth dropped significantly and
+//! stabilized at a lower value", repeated 15 times per type, yielding
+//! the time-to-empty, high bandwidth, and low bandwidth — and the
+//! observation that "these parameters are not always consistent for
+//! multiple incarnations of the same instance type".
+
+use clouds::CloudProfile;
+use netsim::pattern::TrafficPattern;
+use netsim::tcp::{StreamConfig, StreamSim};
+
+/// Estimated token-bucket parameters from one probe run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketEstimate {
+    /// Seconds of full-speed transfer until the bandwidth drop.
+    pub time_to_empty_s: f64,
+    /// Mean bandwidth before the drop, bits/s.
+    pub high_bps: f64,
+    /// Mean bandwidth after stabilization, bits/s.
+    pub low_bps: f64,
+    /// Inferred budget: `time_to_empty × (high − low)`, bits.
+    pub budget_bits: f64,
+}
+
+/// Probe one instantiated VM (full-speed stream, 10-second summaries)
+/// for up to `max_duration_s`. Returns `None` when no throttling drop
+/// is observed (not a token-bucket cloud, or the bucket outlasted the
+/// probe).
+pub fn probe_token_bucket(
+    profile: &CloudProfile,
+    seed: u64,
+    max_duration_s: f64,
+) -> Option<BucketEstimate> {
+    let mut vm = profile.instantiate(seed);
+    let cfg = StreamConfig::new(max_duration_s, TrafficPattern::FullSpeed);
+    let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
+    let samples = &res.bandwidth.samples;
+    if samples.len() < 6 {
+        return None;
+    }
+
+    let initial = samples[0].bandwidth_bps;
+    // Find the drop: first interval below 60% of the initial rate.
+    let drop_idx = samples
+        .iter()
+        .position(|s| s.bandwidth_bps < 0.6 * initial)?;
+    if drop_idx == 0 {
+        return None; // throttled from the start — no high phase seen
+    }
+    // High rate: mean of the pre-drop intervals.
+    let high_bps = samples[..drop_idx]
+        .iter()
+        .map(|s| s.bandwidth_bps)
+        .sum::<f64>()
+        / drop_idx as f64;
+    // Low rate: mean of the stabilized region (skip one interval of
+    // transition, then average the rest, at least 3 intervals).
+    let stable_start = (drop_idx + 1).min(samples.len() - 1);
+    let tail = &samples[stable_start..];
+    if tail.len() < 3 {
+        return None;
+    }
+    let low_bps = tail.iter().map(|s| s.bandwidth_bps).sum::<f64>() / tail.len() as f64;
+    // Time to empty: interpolate inside the drop interval using how
+    // much of it still ran at the high rate.
+    let interval = res.bandwidth.interval;
+    let drop_sample = samples[drop_idx];
+    let frac_high = ((drop_sample.bandwidth_bps - low_bps) / (high_bps - low_bps)).clamp(0.0, 1.0);
+    let time_to_empty_s = drop_sample.t + frac_high * interval;
+
+    Some(BucketEstimate {
+        time_to_empty_s,
+        high_bps,
+        low_bps,
+        budget_bits: time_to_empty_s * (high_bps - low_bps),
+    })
+}
+
+/// Probe `n_probes` incarnations of an instance type (the paper used
+/// 15), each with a distinct seed. Probes that never observe a drop
+/// are omitted.
+pub fn probe_instance_type(
+    profile: &CloudProfile,
+    n_probes: usize,
+    seed: u64,
+    max_duration_s: f64,
+) -> Vec<BucketEstimate> {
+    (0..n_probes)
+        .filter_map(|i| {
+            probe_token_bucket(
+                profile,
+                netsim::rng::derive_seed(seed, i as u64),
+                max_duration_s,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::units::gbps;
+
+    #[test]
+    fn c5_xlarge_probe_finds_paper_parameters() {
+        let p = clouds::ec2::c5_xlarge();
+        let est = probe_token_bucket(&p, 1, 2000.0).expect("drop expected");
+        // ~10 Gbps high, ~1 Gbps low, ~550 s (±incarnation jitter).
+        assert!((est.high_bps - gbps(10.0)).abs() < gbps(0.3), "high {}", est.high_bps);
+        assert!((est.low_bps - gbps(1.0)).abs() < gbps(0.3), "low {}", est.low_bps);
+        assert!(
+            est.time_to_empty_s > 380.0 && est.time_to_empty_s < 780.0,
+            "tte {}",
+            est.time_to_empty_s
+        );
+        // Budget estimate within ~20% of the nominal 5000 Gbit
+        // (instantiation jitter included).
+        assert!(
+            est.budget_bits > 3.4e12 && est.budget_bits < 7e12,
+            "budget {}",
+            est.budget_bits
+        );
+    }
+
+    #[test]
+    fn incarnations_vary_like_figure11() {
+        let p = clouds::ec2::c5_xlarge();
+        let probes = probe_instance_type(&p, 15, 7, 2000.0);
+        assert!(probes.len() >= 13, "only {} probes succeeded", probes.len());
+        let ttes: Vec<f64> = probes.iter().map(|e| e.time_to_empty_s).collect();
+        let min = ttes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ttes.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.1, "expected incarnation spread, {min}..{max}");
+    }
+
+    #[test]
+    fn family_ordering_matches_figure11() {
+        // Larger c5.* instances → longer time-to-empty, higher low rate.
+        let large = probe_token_bucket(&clouds::ec2::c5_large(), 2, 2000.0).unwrap();
+        let xlarge = probe_token_bucket(&clouds::ec2::c5_xlarge(), 2, 2000.0).unwrap();
+        let x2 = probe_token_bucket(&clouds::ec2::c5_2xlarge(), 2, 4000.0).unwrap();
+        assert!(large.time_to_empty_s < xlarge.time_to_empty_s);
+        assert!(xlarge.time_to_empty_s < x2.time_to_empty_s);
+        assert!(large.low_bps < xlarge.low_bps && xlarge.low_bps < x2.low_bps);
+    }
+
+    #[test]
+    fn non_bucket_clouds_probe_as_none() {
+        let gce = clouds::gce::n_core(8);
+        assert!(probe_token_bucket(&gce, 3, 1200.0).is_none());
+        let hpc = clouds::hpccloud::n_core(8);
+        assert!(probe_token_bucket(&hpc, 3, 1200.0).is_none());
+    }
+
+    #[test]
+    fn short_probe_misses_large_buckets() {
+        // c5.4xlarge empties after ~80 minutes; a 10-minute probe
+        // cannot see the drop.
+        let p = clouds::ec2::c5_4xlarge();
+        assert!(probe_token_bucket(&p, 4, 600.0).is_none());
+    }
+}

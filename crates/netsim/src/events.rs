@@ -1,0 +1,156 @@
+//! A minimal discrete-event queue.
+//!
+//! The fluid fabric advances in fixed steps, but job-level simulation
+//! (task completions, stage barriers) is naturally event driven.
+//! [`EventQueue`] is a time-ordered priority queue with stable FIFO
+//! ordering for simultaneous events — determinism matters more than
+//! nanoseconds here.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: fire time plus payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, breaking
+        // ties by insertion order (earlier seq first).
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `at` (seconds).
+    pub fn schedule(&mut self, at: f64, payload: T) {
+        assert!(at.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Pop the earliest event only if it fires at or before `t`.
+    pub fn pop_due(&mut self, t: f64) -> Option<(f64, T)> {
+        if self.peek_time().is_some_and(|at| at <= t) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "early");
+        q.schedule(10.0, "late");
+        assert_eq!(q.pop_due(5.0), Some((1.0, "early")));
+        assert_eq!(q.pop_due(5.0), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.peek_time(), Some(2.5));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+}

@@ -1,0 +1,626 @@
+//! Multi-node fluid fabric with max-min fair bandwidth sharing.
+//!
+//! The `bigdata` crate runs simulated Spark clusters on this fabric:
+//! every node owns an egress [`Shaper`] (e.g. its VM's token bucket) and
+//! an ingress capacity; shuffle transfers become [`FlowSpec`]s. Each
+//! fluid step computes the **max-min fair** allocation (progressive
+//! filling / water-filling) subject to per-node egress and ingress caps
+//! and per-flow rate limits, then lets each node's shaper admit the
+//! allocated egress volume — so token-bucket depletion on *one* node
+//! slows exactly the flows that cross it, which is how the paper's
+//! stragglers arise (Figure 18).
+
+use crate::rng::SimRng;
+use crate::shaper::Shaper;
+use std::collections::BTreeMap;
+
+/// Index of a node in the fabric.
+pub type NodeId = usize;
+
+/// Opaque identifier of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+/// A requested transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bits.
+    pub bits: f64,
+    /// Application-level rate cap in bits/s (`f64::INFINITY` if none).
+    pub max_rate_bps: f64,
+}
+
+impl FlowSpec {
+    /// An uncapped transfer of `bits` from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId, bits: f64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bits,
+            max_rate_bps: f64::INFINITY,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveFlow {
+    spec: FlowSpec,
+    remaining_bits: f64,
+    last_rate_bps: f64,
+}
+
+struct Node<S> {
+    shaper: S,
+    ingress_cap_bps: f64,
+    /// Bits sent during the last step (for per-node utilization traces).
+    last_tx_bits: f64,
+    /// Cumulative bits sent.
+    total_tx_bits: f64,
+}
+
+/// The fabric. Generic over the shaper type so callers that need to
+/// inspect shaper internals (e.g. token-bucket budgets for Figure 15/18)
+/// can use a concrete `Fabric<TokenBucket>`, while heterogeneous setups
+/// use `Fabric<Box<dyn Shaper + Send>>`.
+pub struct Fabric<S> {
+    nodes: Vec<Node<S>>,
+    flows: BTreeMap<FlowId, ActiveFlow>,
+    next_flow: u64,
+    now_s: f64,
+    /// Optional aggregate core capacity in bits/s shared by every flow
+    /// (models an oversubscribed datacenter core; `None` = full
+    /// bisection bandwidth, the default).
+    core_capacity_bps: Option<f64>,
+}
+
+impl<S: Shaper> Default for Fabric<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Shaper> Fabric<S> {
+    /// An empty fabric at t=0.
+    pub fn new() -> Self {
+        Fabric {
+            nodes: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            now_s: 0.0,
+            core_capacity_bps: None,
+        }
+    }
+
+    /// Constrain the fabric core: the sum of all flow rates may not
+    /// exceed `bps` (oversubscription). Pass `f64::INFINITY`-like
+    /// removal via [`Fabric::clear_core_capacity`].
+    pub fn set_core_capacity(&mut self, bps: f64) {
+        assert!(bps > 0.0);
+        self.core_capacity_bps = Some(bps);
+    }
+
+    /// Remove the core constraint (full bisection bandwidth).
+    pub fn clear_core_capacity(&mut self) {
+        self.core_capacity_bps = None;
+    }
+
+    /// Add a node with the given egress shaper and ingress capacity.
+    pub fn add_node(&mut self, shaper: S, ingress_cap_bps: f64) -> NodeId {
+        self.nodes.push(Node {
+            shaper,
+            ingress_cap_bps,
+            last_tx_bits: 0.0,
+            total_tx_bits: 0.0,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of in-flight flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a transfer; completion is reported by [`Fabric::step`].
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.src < self.nodes.len() && spec.dst < self.nodes.len());
+        assert!(spec.src != spec.dst, "loopback flows bypass the network");
+        assert!(spec.bits >= 0.0);
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                spec,
+                remaining_bits: spec.bits,
+                last_rate_bps: 0.0,
+            },
+        );
+        id
+    }
+
+    /// Remaining bits of a flow (`None` once completed/unknown).
+    pub fn flow_remaining_bits(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining_bits)
+    }
+
+    /// Rate granted to a flow in the last step, bits/s.
+    pub fn flow_last_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.last_rate_bps)
+    }
+
+    /// Egress bits node `n` sent in the last step.
+    pub fn node_last_tx_bits(&self, n: NodeId) -> f64 {
+        self.nodes[n].last_tx_bits
+    }
+
+    /// Cumulative egress bits of node `n`.
+    pub fn node_total_tx_bits(&self, n: NodeId) -> f64 {
+        self.nodes[n].total_tx_bits
+    }
+
+    /// Access a node's shaper (e.g. to read a token-bucket budget).
+    pub fn node_shaper(&self, n: NodeId) -> &S {
+        &self.nodes[n].shaper
+    }
+
+    /// Mutable access to a node's shaper (e.g. to preset budgets).
+    pub fn node_shaper_mut(&mut self, n: NodeId) -> &mut S {
+        &mut self.nodes[n].shaper
+    }
+
+    /// Max-min fair rates for the current flow set, honoring per-node
+    /// egress hints, per-node ingress caps, and per-flow caps.
+    fn compute_rates(&self) -> Vec<(FlowId, f64)> {
+        let n_nodes = self.nodes.len();
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut rate = vec![0.0f64; ids.len()];
+        let mut frozen = vec![false; ids.len()];
+
+        // Residual capacity per resource: egress, ingress, and the
+        // (optional) shared core.
+        let mut egress: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.shaper.rate_hint(self.now_s).max(0.0))
+            .collect();
+        let mut ingress: Vec<f64> = self.nodes.iter().map(|n| n.ingress_cap_bps).collect();
+        let mut core = self.core_capacity_bps;
+
+        loop {
+            // Count unfrozen flows per resource.
+            let mut eg_count = vec![0usize; n_nodes];
+            let mut in_count = vec![0usize; n_nodes];
+            let mut unfrozen = 0usize;
+            for (k, id) in ids.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                unfrozen += 1;
+                let s = self.flows[id].spec;
+                eg_count[s.src] += 1;
+                in_count[s.dst] += 1;
+            }
+            if unfrozen == 0 {
+                break;
+            }
+
+            // Smallest fair share over all constraining resources.
+            let mut share = f64::INFINITY;
+            for v in 0..n_nodes {
+                if eg_count[v] > 0 {
+                    share = share.min(egress[v] / eg_count[v] as f64);
+                }
+                if in_count[v] > 0 {
+                    share = share.min(ingress[v] / in_count[v] as f64);
+                }
+            }
+            if let Some(c) = core {
+                share = share.min(c / unfrozen as f64);
+            }
+            // Per-flow caps can be tighter than any shared resource.
+            for (k, id) in ids.iter().enumerate() {
+                if !frozen[k] {
+                    share = share.min(self.flows[id].spec.max_rate_bps);
+                }
+            }
+            if !share.is_finite() {
+                // No finite constraint at all: unbounded fabric.
+                for (k, _) in ids.iter().enumerate() {
+                    if !frozen[k] {
+                        frozen[k] = true;
+                        rate[k] = f64::INFINITY;
+                    }
+                }
+                break;
+            }
+            let share = share.max(0.0);
+
+            // Freeze every flow limited at this share: flows crossing a
+            // bottleneck resource, or capped at exactly the share.
+            let eps = share * 1e-9 + 1e-9;
+            let core_binding = core
+                .map(|c| c / unfrozen as f64 <= share + eps)
+                .unwrap_or(false);
+            let mut froze_any = false;
+            for (k, id) in ids.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                let s = self.flows[id].spec;
+                let src_share = egress[s.src] / eg_count[s.src] as f64;
+                let dst_share = ingress[s.dst] / in_count[s.dst] as f64;
+                let capped = s.max_rate_bps <= share + eps;
+                if core_binding || src_share <= share + eps || dst_share <= share + eps || capped
+                {
+                    frozen[k] = true;
+                    rate[k] = share;
+                    egress[s.src] = (egress[s.src] - share).max(0.0);
+                    ingress[s.dst] = (ingress[s.dst] - share).max(0.0);
+                    if let Some(c) = core.as_mut() {
+                        *c = (*c - share).max(0.0);
+                    }
+                    froze_any = true;
+                }
+            }
+            debug_assert!(froze_any, "water-filling failed to make progress");
+            if !froze_any {
+                break;
+            }
+        }
+
+        ids.into_iter().zip(rate).collect()
+    }
+
+    /// Advance the fabric by `dt` seconds. Returns the flows that
+    /// completed during the step, in id order.
+    pub fn step(&mut self, dt: f64) -> Vec<FlowId> {
+        assert!(dt > 0.0);
+        let rates = self.compute_rates();
+
+        // Aggregate per-node egress demand.
+        let mut node_demand = vec![0.0f64; self.nodes.len()];
+        for &(id, r) in &rates {
+            let f = &self.flows[&id];
+            let want = (r * dt).min(f.remaining_bits);
+            node_demand[f.spec.src] += want;
+        }
+
+        // Let shapers admit the demand; compute per-node scaling.
+        let mut node_scale = vec![1.0f64; self.nodes.len()];
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            let demand = node_demand[v];
+            let granted = node.shaper.transmit(self.now_s, dt, demand);
+            node.last_tx_bits = granted;
+            node.total_tx_bits += granted;
+            node_scale[v] = if demand > 0.0 { granted / demand } else { 1.0 };
+        }
+
+        // Deliver bits and collect completions.
+        let mut completed = Vec::new();
+        for (id, r) in rates {
+            let f = self.flows.get_mut(&id).expect("flow vanished");
+            let want = (r * dt).min(f.remaining_bits);
+            let delivered = want * node_scale[f.spec.src];
+            f.remaining_bits -= delivered;
+            f.last_rate_bps = delivered / dt;
+            if f.remaining_bits <= 1e-6 {
+                completed.push(id);
+            }
+        }
+        for id in &completed {
+            self.flows.remove(id);
+        }
+
+        self.now_s += dt;
+        completed
+    }
+
+    /// Advance with **no** flows for `duration` (resting: token refill).
+    pub fn rest(&mut self, duration: f64, dt: f64) {
+        assert!(self.flows.is_empty(), "rest() with active flows");
+        let steps = (duration / dt).round().max(0.0) as u64;
+        for _ in 0..steps {
+            for node in &mut self.nodes {
+                node.shaper.transmit(self.now_s, dt, 0.0);
+                node.last_tx_bits = 0.0;
+            }
+            self.now_s += dt;
+        }
+    }
+
+    /// Reset every node's shaper and the clock (fresh VMs).
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.shaper.reset();
+            node.last_tx_bits = 0.0;
+            node.total_tx_bits = 0.0;
+        }
+        self.flows.clear();
+        self.now_s = 0.0;
+    }
+}
+
+/// Multi-tenant cross traffic: a Poisson process of neighbour flows.
+///
+/// The paper's HPCCloud variability comes from tenants sharing links
+/// without QoS; [`crate::shaper::NoiseShaper`] models that at a single
+/// endpoint, while `CrossTraffic` models it *inside a fabric* — random
+/// neighbour flows between random node pairs contend with the
+/// workload's own shuffles through the same max-min allocation, so
+/// contention hits exactly the links that happen to be busy.
+#[derive(Debug, Clone)]
+pub struct CrossTraffic {
+    /// Mean neighbour-flow arrivals per second.
+    pub arrivals_per_s: f64,
+    /// Mean flow size in bits (exponential).
+    pub mean_flow_bits: f64,
+    /// Per-flow rate cap in bits/s (neighbours rarely get full links).
+    pub flow_rate_cap_bps: f64,
+    rng: SimRng,
+}
+
+impl CrossTraffic {
+    /// Create a cross-traffic source.
+    pub fn new(arrivals_per_s: f64, mean_flow_bits: f64, flow_rate_cap_bps: f64, seed: u64) -> Self {
+        assert!(arrivals_per_s >= 0.0 && mean_flow_bits > 0.0 && flow_rate_cap_bps > 0.0);
+        CrossTraffic {
+            arrivals_per_s,
+            mean_flow_bits,
+            flow_rate_cap_bps,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Inject arrivals for one step of length `dt` into the fabric.
+    /// Call once per [`Fabric::step`]; returns the flows started.
+    pub fn inject<S: Shaper>(&mut self, fabric: &mut Fabric<S>, dt: f64) -> Vec<FlowId> {
+        let n = fabric.node_count();
+        if n < 2 || self.arrivals_per_s <= 0.0 {
+            return Vec::new();
+        }
+        let arrivals = self.rng.poisson(self.arrivals_per_s * dt);
+        let mut started = Vec::new();
+        for _ in 0..arrivals {
+            let src = self.rng.index(n);
+            let dst = (src + 1 + self.rng.index(n - 1)) % n;
+            let bits = self.rng.exponential(1.0 / self.mean_flow_bits);
+            let mut spec = FlowSpec::new(src, dst, bits);
+            spec.max_rate_bps = self.flow_rate_cap_bps;
+            started.push(fabric.start_flow(spec));
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shaper::{StaticShaper, TokenBucket};
+    use crate::units::{gbit, gbps};
+
+    fn static_fabric(n: usize, rate: f64) -> Fabric<StaticShaper> {
+        let mut f = Fabric::new();
+        for _ in 0..n {
+            f.add_node(StaticShaper::new(rate), rate);
+        }
+        f
+    }
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let mut f = static_fabric(2, gbps(10.0));
+        let id = f.start_flow(FlowSpec::new(0, 1, gbps(10.0) * 5.0));
+        let mut done = Vec::new();
+        for _ in 0..60 {
+            done.extend(f.step(0.1));
+        }
+        assert_eq!(done, vec![id]);
+        // 50 Gbit at 10 Gbps = 5 s; completed within 5.0..5.1 s.
+        assert!((f.now() - 6.0).abs() < 1e-9);
+        assert!((f.node_total_tx_bits(0) - gbps(10.0) * 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_ingress_fairly() {
+        // Nodes 0 and 1 both send to node 2: ingress at 2 is the
+        // bottleneck; each should get half.
+        let mut f = static_fabric(3, gbps(10.0));
+        let a = f.start_flow(FlowSpec::new(0, 2, gbit(100.0)));
+        let b = f.start_flow(FlowSpec::new(1, 2, gbit(100.0)));
+        f.step(0.1);
+        assert!((f.flow_last_rate(a).unwrap() - gbps(5.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn egress_sharing_and_unconstrained_flow() {
+        // Node 0 sends two flows (shares its 10 Gbps egress), node 1
+        // sends one flow to a different destination at full rate.
+        let mut f = static_fabric(4, gbps(10.0));
+        let a = f.start_flow(FlowSpec::new(0, 2, gbit(1000.0)));
+        let b = f.start_flow(FlowSpec::new(0, 3, gbit(1000.0)));
+        let c = f.start_flow(FlowSpec::new(1, 2, gbit(1000.0)));
+        f.step(0.1);
+        // Max-min: a shares egress(0) with b → 5; c gets ingress(2)
+        // leftover = min(egress(1)=10, 10-5=5) = 5.
+        assert!((f.flow_last_rate(a).unwrap() - gbps(5.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(5.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(c).unwrap() - gbps(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_flow_cap_releases_bandwidth_to_others() {
+        let mut f = static_fabric(3, gbps(10.0));
+        let mut spec = FlowSpec::new(0, 2, gbit(1000.0));
+        spec.max_rate_bps = gbps(1.0);
+        let a = f.start_flow(spec);
+        let b = f.start_flow(FlowSpec::new(1, 2, gbit(1000.0)));
+        f.step(0.1);
+        assert!((f.flow_last_rate(a).unwrap() - gbps(1.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(9.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn token_bucket_node_throttles_only_its_flows() {
+        let mut f: Fabric<TokenBucket> = Fabric::new();
+        // Node 0: nearly-empty bucket; node 1: full bucket; node 2: sink.
+        let empty = TokenBucket::new(0.0, gbit(5000.0), gbps(10.0), gbps(1.0), gbps(1.0));
+        let full = TokenBucket::new(gbit(5000.0), gbit(5000.0), gbps(10.0), gbps(1.0), gbps(1.0));
+        let sink = TokenBucket::sigma_rho(gbit(1e6), gbps(20.0), gbps(20.0));
+        f.add_node(empty, gbps(20.0));
+        f.add_node(full, gbps(20.0));
+        f.add_node(sink, gbps(20.0));
+        let slow = f.start_flow(FlowSpec::new(0, 2, gbit(1000.0)));
+        let fast = f.start_flow(FlowSpec::new(1, 2, gbit(1000.0)));
+        f.step(0.1);
+        let r_slow = f.flow_last_rate(slow).unwrap();
+        let r_fast = f.flow_last_rate(fast).unwrap();
+        assert!(r_slow < gbps(1.3), "slow {r_slow}");
+        assert!(r_fast > gbps(9.0), "fast {r_fast}");
+    }
+
+    #[test]
+    fn rest_refills_buckets() {
+        let mut f: Fabric<TokenBucket> = Fabric::new();
+        let tb = TokenBucket::new(0.0, gbit(5000.0), gbps(10.0), gbps(1.0), gbps(1.0));
+        f.add_node(tb, gbps(10.0));
+        f.rest(120.0, 0.1);
+        assert!((f.node_shaper(0).budget_bits() - gbit(120.0)).abs() < gbit(0.01));
+        assert!((f.now() - 120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let mut f = static_fabric(2, gbps(10.0));
+        f.start_flow(FlowSpec::new(0, 1, gbit(1.0)));
+        f.step(0.1);
+        f.reset();
+        assert_eq!(f.now(), 0.0);
+        assert_eq!(f.active_flows(), 0);
+        assert_eq!(f.node_total_tx_bits(0), 0.0);
+    }
+
+    #[test]
+    fn completion_order_is_deterministic() {
+        let mut f = static_fabric(3, gbps(10.0));
+        let a = f.start_flow(FlowSpec::new(0, 2, gbit(1.0)));
+        let b = f.start_flow(FlowSpec::new(1, 2, gbit(1.0)));
+        // Both complete in the same step; ids reported in order.
+        let done = f.step(1.0);
+        assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn rejects_loopback_flows() {
+        let mut f = static_fabric(2, gbps(10.0));
+        f.start_flow(FlowSpec::new(1, 1, 1.0));
+    }
+
+    #[test]
+    fn oversubscribed_core_caps_aggregate_rate() {
+        // 4 senders to 4 distinct receivers: node caps allow 40 Gbps
+        // aggregate, but a 10 Gbps core forces 2.5 Gbps each.
+        let mut f = static_fabric(8, gbps(10.0));
+        f.set_core_capacity(gbps(10.0));
+        let ids: Vec<_> = (0..4)
+            .map(|i| f.start_flow(FlowSpec::new(i, i + 4, gbit(1000.0))))
+            .collect();
+        f.step(0.1);
+        for id in &ids {
+            assert!((f.flow_last_rate(*id).unwrap() - gbps(2.5)).abs() < 1.0);
+        }
+        // Removing the constraint restores full bisection bandwidth.
+        f.clear_core_capacity();
+        f.step(0.1);
+        for id in &ids {
+            assert!((f.flow_last_rate(*id).unwrap() - gbps(10.0)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn core_interacts_with_per_node_caps() {
+        // One sender capped at 1 Gbps by its own NIC; others share the
+        // remaining core fairly.
+        let mut f: Fabric<StaticShaper> = Fabric::new();
+        f.add_node(StaticShaper::new(gbps(1.0)), gbps(10.0));
+        for _ in 0..3 {
+            f.add_node(StaticShaper::new(gbps(10.0)), gbps(10.0));
+        }
+        f.set_core_capacity(gbps(7.0));
+        let a = f.start_flow(FlowSpec::new(0, 2, gbit(1000.0)));
+        let b = f.start_flow(FlowSpec::new(1, 3, gbit(1000.0)));
+        f.step(0.1);
+        // a limited by its 1 Gbps NIC; b gets the core's leftover 6.
+        assert!((f.flow_last_rate(a).unwrap() - gbps(1.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(6.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_traffic_injects_poisson_flows() {
+        let mut f = static_fabric(6, gbps(10.0));
+        let mut ct = CrossTraffic::new(5.0, gbit(2.0), gbps(2.0), 7);
+        let mut started = 0usize;
+        for _ in 0..1000 {
+            started += ct.inject(&mut f, 0.1).len();
+            f.step(0.1);
+        }
+        // ~5/s over 100 s → ~500 arrivals, Poisson spread.
+        assert!(started > 350 && started < 650, "started {started}");
+    }
+
+    #[test]
+    fn cross_traffic_steals_bandwidth_from_a_foreground_flow() {
+        let transfer_time = |with_noise: bool| {
+            // Offered noise load (2/s × 5 Gbit = 10 Gbps) stays below
+            // the fabric's capacity so the flow population is stable.
+            let mut f = static_fabric(4, gbps(10.0));
+            let mut ct = CrossTraffic::new(2.0, gbit(5.0), gbps(5.0), 3);
+            let id = f.start_flow(FlowSpec::new(0, 1, gbit(400.0)));
+            let mut t = 0.0;
+            loop {
+                if with_noise {
+                    ct.inject(&mut f, 0.1);
+                }
+                let done = f.step(0.1);
+                t += 0.1;
+                if done.contains(&id) {
+                    return t;
+                }
+                assert!(t < 10_000.0, "foreground flow starved");
+            }
+        };
+        let clean = transfer_time(false);
+        let noisy = transfer_time(true);
+        assert!(noisy > 1.1 * clean, "clean {clean} noisy {noisy}");
+    }
+
+    #[test]
+    fn cross_traffic_is_deterministic() {
+        let run = || {
+            let mut f = static_fabric(4, gbps(10.0));
+            let mut ct = CrossTraffic::new(3.0, gbit(1.0), gbps(1.0), 11);
+            let mut ids = Vec::new();
+            for _ in 0..200 {
+                ids.extend(ct.inject(&mut f, 0.1));
+                f.step(0.1);
+            }
+            ids.len()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,234 @@
+//! Empirical-distribution shaper (the paper's Ballani A–H emulation).
+//!
+//! Section 2.1 emulates eight real-world clouds whose bandwidth
+//! distributions are known only through percentiles (1st, 25th, 50th,
+//! 75th, 99th — Figure 2, from Ballani et al.). The methodology:
+//! "we limit the bandwidth achieved by machines according to
+//! distributions A−H. We uniformly sample bandwidth values from these
+//! distributions every x ∈ {5, 50} seconds."
+//!
+//! [`QuantileDist`] represents a distribution by quantile points with
+//! piecewise-linear interpolation of the inverse CDF; [`EmpiricalShaper`]
+//! re-samples a rate from it at a fixed interval.
+
+use super::Shaper;
+use crate::rng::SimRng;
+
+/// A distribution defined by quantile points `(p, value)` with
+/// `0 <= p <= 1`, interpolated piecewise-linearly between points and
+/// clamped to the extreme points outside their range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileDist {
+    points: Vec<(f64, f64)>,
+}
+
+impl QuantileDist {
+    /// Build from quantile points. Points are sorted by probability;
+    /// panics if fewer than two points, probabilities outside `[0,1]`,
+    /// or values not non-decreasing in probability.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two quantile points");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in points.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "quantile values must be non-decreasing: {:?}",
+                w
+            );
+        }
+        for &(p, _) in &points {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        QuantileDist { points }
+    }
+
+    /// Convenience: build from the five percentiles of the paper's
+    /// box-and-whisker plots (1st, 25th, 50th, 75th, 99th).
+    pub fn from_box(p1: f64, p25: f64, p50: f64, p75: f64, p99: f64) -> Self {
+        QuantileDist::new(vec![
+            (0.01, p1),
+            (0.25, p25),
+            (0.50, p50),
+            (0.75, p75),
+            (0.99, p99),
+        ])
+    }
+
+    /// Inverse CDF at probability `p` (clamped to the defined range).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let first = self.points[0];
+        let last = *self.points.last().unwrap();
+        if p <= first.0 {
+            return first.1;
+        }
+        if p >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            let (p0, v0) = w[0];
+            let (p1, v1) = w[1];
+            if p <= p1 {
+                let f = if p1 > p0 { (p - p0) / (p1 - p0) } else { 1.0 };
+                return v0 + f * (v1 - v0);
+            }
+        }
+        last.1
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Draw a sample: uniform `u`, then invert the CDF.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.uniform())
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+
+    /// The quantile points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Shaper that re-samples its rate from a [`QuantileDist`] every
+/// `resample_interval_s` seconds. See the module docs.
+pub struct EmpiricalShaper {
+    dist: QuantileDist,
+    resample_interval_s: f64,
+    rng: SimRng,
+    current_rate_bps: f64,
+    next_resample_at: f64,
+    seed: u64,
+}
+
+impl EmpiricalShaper {
+    /// Create a shaper sampling `dist` (values in bits/s) every
+    /// `resample_interval_s` seconds.
+    pub fn new(dist: QuantileDist, resample_interval_s: f64, seed: u64) -> Self {
+        assert!(resample_interval_s > 0.0);
+        let mut rng = SimRng::new(seed);
+        let current = dist.sample(&mut rng);
+        EmpiricalShaper {
+            dist,
+            resample_interval_s,
+            rng,
+            current_rate_bps: current,
+            next_resample_at: resample_interval_s,
+            seed,
+        }
+    }
+
+    fn maybe_resample(&mut self, now: f64) {
+        while now >= self.next_resample_at {
+            self.current_rate_bps = self.dist.sample(&mut self.rng);
+            self.next_resample_at += self.resample_interval_s;
+        }
+    }
+}
+
+impl Shaper for EmpiricalShaper {
+    fn transmit(&mut self, now: f64, dt: f64, demand_bits: f64) -> f64 {
+        debug_assert!(dt > 0.0);
+        self.maybe_resample(now);
+        if demand_bits <= 0.0 {
+            return 0.0;
+        }
+        demand_bits.min(self.current_rate_bps * dt)
+    }
+
+    fn rate_hint(&self, _now: f64) -> f64 {
+        self.current_rate_bps
+    }
+
+    fn reset(&mut self) {
+        self.rng = SimRng::new(self.seed);
+        self.current_rate_bps = self.dist.sample(&mut self.rng);
+        self.next_resample_at = self.resample_interval_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist() -> QuantileDist {
+        // A synthetic cloud: 100–900 Mbps.
+        QuantileDist::from_box(100e6, 300e6, 500e6, 700e6, 900e6)
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let d = dist();
+        assert_eq!(d.median(), 500e6);
+        assert_eq!(d.quantile(0.25), 300e6);
+        // Midway between p25 and p50.
+        assert!((d.quantile(0.375) - 400e6).abs() < 1.0);
+        // Clamped at the ends.
+        assert_eq!(d.quantile(0.0), 100e6);
+        assert_eq!(d.quantile(1.0), 900e6);
+        assert_eq!(d.iqr(), 400e6);
+    }
+
+    #[test]
+    fn samples_lie_in_support_and_match_median() {
+        let d = dist();
+        let mut rng = SimRng::new(42);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (100e6..=900e6).contains(&s)));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[samples.len() / 2];
+        assert!((med - 500e6).abs() < 15e6, "median {med}");
+    }
+
+    #[test]
+    fn resampling_happens_on_schedule() {
+        let mut s = EmpiricalShaper::new(dist(), 5.0, 7);
+        let r0 = s.rate_hint(0.0);
+        // Within the first interval the rate is constant.
+        s.transmit(0.0, 1.0, f64::INFINITY);
+        s.transmit(4.9, 0.1, f64::INFINITY);
+        assert_eq!(s.rate_hint(4.9), r0);
+        // After 5 s it changes (with overwhelming probability).
+        s.transmit(5.0, 0.1, f64::INFINITY);
+        assert_ne!(s.rate_hint(5.0), r0);
+    }
+
+    #[test]
+    fn granted_respects_current_rate() {
+        let mut s = EmpiricalShaper::new(dist(), 5.0, 9);
+        let rate = s.rate_hint(0.0);
+        let granted = s.transmit(0.0, 2.0, f64::INFINITY);
+        assert!((granted - rate * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reset_reproduces() {
+        let mut s = EmpiricalShaper::new(dist(), 5.0, 11);
+        let a: Vec<f64> = (0..100)
+            .map(|i| s.transmit(i as f64, 1.0, f64::INFINITY))
+            .collect();
+        s.reset();
+        let b: Vec<f64> = (0..100)
+            .map(|i| s.transmit(i as f64, 1.0, f64::INFINITY))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_quantiles() {
+        QuantileDist::new(vec![(0.1, 5.0), (0.9, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        QuantileDist::new(vec![(0.5, 1.0)]);
+    }
+}

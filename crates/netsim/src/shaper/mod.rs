@@ -1,0 +1,173 @@
+//! Egress traffic shapers — the QoS mechanisms the paper uncovers.
+//!
+//! Section 3.3 identifies three very different provider policies:
+//!
+//! * Amazon EC2 uses a **token bucket** per VM: a budget spent at a high
+//!   rate (e.g. 10 Gbps), throttled to a low rate (e.g. 1 Gbps) once the
+//!   budget empties, replenished at ~1 Gbit of tokens per second
+//!   ([`TokenBucket`]).
+//! * Google Cloud enforces a **per-core bandwidth QoS** (2 Gbps/core)
+//!   that favours long-running flows; short bursts pay a routing ramp-up
+//!   through gateways and show a long lower tail ([`PerCoreQos`]).
+//! * The private HPCCloud applies **no QoS**; variability comes from
+//!   contention with other tenants and is well modelled as correlated
+//!   stochastic noise ([`NoiseShaper`]).
+//!
+//! [`EmpiricalShaper`] replays a quantile-defined bandwidth distribution
+//! (the Ballani et al. clouds A–H of Figure 2), re-sampling uniformly at
+//! a fixed interval exactly as the paper's emulation methodology does.
+//!
+//! All shapers implement [`Shaper`], a *fluid* interface: the caller
+//! advances simulated time in steps and asks how many bits may be sent.
+
+mod empirical;
+mod noise;
+mod per_core;
+mod token_bucket;
+
+pub use empirical::{EmpiricalShaper, QuantileDist};
+pub use noise::{NoiseConfig, NoiseShaper};
+pub use per_core::{PerCoreQos, PerCoreQosConfig};
+pub use token_bucket::TokenBucket;
+
+/// A fluid egress shaper.
+///
+/// Implementations are deterministic given their construction seed. Time
+/// is owned by the caller: `transmit` must be called with non-decreasing
+/// `now` values and strictly positive `dt`; idle periods should still be
+/// stepped (with `demand_bits == 0.0`) so that state such as token
+/// refill advances.
+pub trait Shaper {
+    /// Attempt to transmit up to `demand_bits` during `[now, now + dt)`.
+    ///
+    /// Returns the number of bits actually admitted (`<= demand_bits`).
+    fn transmit(&mut self, now: f64, dt: f64, demand_bits: f64) -> f64;
+
+    /// Instantaneous rate ceiling in bits/second at time `now`.
+    ///
+    /// A planning hint (used e.g. by the max-min fairness solver); it
+    /// must not mutate observable state.
+    fn rate_hint(&self, now: f64) -> f64;
+
+    /// Restore the initial state — the paper's "fresh set of VMs".
+    fn reset(&mut self);
+
+    /// Remaining token budget in bits, for shapers that have one.
+    ///
+    /// Lets instrumentation (Figures 15 and 18 plot per-node budgets)
+    /// observe bucket state through a generic shaper handle. Non-bucket
+    /// shapers return `None`.
+    fn token_budget_bits(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Unconditioned constant-rate link (e.g. a physical NIC cap).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticShaper {
+    rate_bps: f64,
+}
+
+impl StaticShaper {
+    /// A shaper that always admits `rate_bps`.
+    pub fn new(rate_bps: f64) -> Self {
+        assert!(rate_bps >= 0.0);
+        StaticShaper { rate_bps }
+    }
+}
+
+impl Shaper for StaticShaper {
+    fn transmit(&mut self, _now: f64, dt: f64, demand_bits: f64) -> f64 {
+        demand_bits.min(self.rate_bps * dt)
+    }
+
+    fn rate_hint(&self, _now: f64) -> f64 {
+        self.rate_bps
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Series composition: traffic must pass both shapers (e.g. a token
+/// bucket behind a 10 Gbps physical port). The admitted volume is the
+/// minimum of the two; both shapers observe the admitted traffic.
+pub struct MinShaper<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Shaper, B: Shaper> MinShaper<A, B> {
+    /// Compose two shapers in series.
+    pub fn new(a: A, b: B) -> Self {
+        MinShaper { a, b }
+    }
+}
+
+impl<A: Shaper, B: Shaper> Shaper for MinShaper<A, B> {
+    fn transmit(&mut self, now: f64, dt: f64, demand_bits: f64) -> f64 {
+        // Ask the tighter stage first with the full demand, then pass the
+        // admitted volume through the other stage.
+        let granted_a = self.a.transmit(now, dt, demand_bits);
+        self.b.transmit(now, dt, granted_a)
+    }
+
+    fn rate_hint(&self, now: f64) -> f64 {
+        self.a.rate_hint(now).min(self.b.rate_hint(now))
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+    }
+
+    fn token_budget_bits(&self) -> Option<f64> {
+        self.a.token_budget_bits().or_else(|| self.b.token_budget_bits())
+    }
+}
+
+impl Shaper for Box<dyn Shaper + Send> {
+    fn transmit(&mut self, now: f64, dt: f64, demand_bits: f64) -> f64 {
+        (**self).transmit(now, dt, demand_bits)
+    }
+
+    fn rate_hint(&self, now: f64) -> f64 {
+        (**self).rate_hint(now)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn token_budget_bits(&self) -> Option<f64> {
+        (**self).token_budget_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gbps;
+
+    #[test]
+    fn static_shaper_caps_demand() {
+        let mut s = StaticShaper::new(gbps(10.0));
+        assert_eq!(s.transmit(0.0, 1.0, gbps(4.0)), gbps(4.0));
+        assert_eq!(s.transmit(1.0, 1.0, gbps(40.0)), gbps(10.0));
+        assert_eq!(s.rate_hint(0.0), gbps(10.0));
+    }
+
+    #[test]
+    fn min_shaper_takes_tighter_stage() {
+        let mut s = MinShaper::new(StaticShaper::new(gbps(10.0)), StaticShaper::new(gbps(4.0)));
+        assert_eq!(s.transmit(0.0, 1.0, f64::INFINITY), gbps(4.0));
+        assert_eq!(s.rate_hint(0.0), gbps(4.0));
+    }
+
+    #[test]
+    fn boxed_shaper_dispatch() {
+        let mut s: Box<dyn Shaper + Send> = Box::new(StaticShaper::new(gbps(2.0)));
+        assert_eq!(s.transmit(0.0, 0.5, f64::INFINITY), gbps(1.0));
+        s.reset();
+        assert_eq!(s.rate_hint(0.0), gbps(2.0));
+    }
+}

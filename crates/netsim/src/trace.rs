@@ -1,0 +1,229 @@
+//! Measurement traces produced by the simulated harness.
+//!
+//! The paper summarizes "performability metrics (bandwidth,
+//! retransmissions, CPU load etc.) every 10 seconds" — [`BandwidthTrace`]
+//! mirrors that: a sequence of fixed-interval [`BwSample`]s. Packet-level
+//! RTT observations (Figures 7, 8, 12) are recorded in [`RttTrace`].
+
+/// One summarization interval of a bandwidth measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BwSample {
+    /// Interval start, seconds since experiment start.
+    pub t: f64,
+    /// Achieved goodput over the interval, bits/second.
+    ///
+    /// Intervals in which the traffic pattern was idle for their whole
+    /// duration are *not* recorded (iperf reports nothing while idle), so
+    /// this averages over transmitting time only.
+    pub bandwidth_bps: f64,
+    /// Bits transferred during the interval.
+    pub bits: f64,
+    /// TCP segments retransmitted during the interval.
+    pub retransmissions: u64,
+}
+
+/// A fixed-interval bandwidth trace (the paper's 10-second summaries).
+#[derive(Debug, Clone, Default)]
+pub struct BandwidthTrace {
+    /// Summarization interval in seconds (10.0 throughout the paper).
+    pub interval: f64,
+    /// Ordered samples.
+    pub samples: Vec<BwSample>,
+}
+
+impl BandwidthTrace {
+    /// New empty trace with the given summarization interval.
+    pub fn new(interval: f64) -> Self {
+        BandwidthTrace {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Bandwidth values (bits/s) of all samples, in time order.
+    pub fn bandwidths(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.bandwidth_bps).collect()
+    }
+
+    /// Total bits transferred.
+    pub fn total_bits(&self) -> f64 {
+        self.samples.iter().map(|s| s.bits).sum()
+    }
+
+    /// Total retransmissions.
+    pub fn total_retransmissions(&self) -> u64 {
+        self.samples.iter().map(|s| s.retransmissions).sum()
+    }
+
+    /// Mean of the per-interval bandwidths (bits/s).
+    pub fn mean_bandwidth(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.bandwidth_bps).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest relative sample-to-sample swing,
+    /// `|b_{i+1} - b_i| / min(b_i, b_{i+1})`, as a fraction.
+    ///
+    /// Section 3.1 reports swings up to 33% (HPCCloud full-speed) and
+    /// 114% (Google Cloud 5-30) between consecutive 10-second samples.
+    pub fn max_consecutive_swing(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let lo = w[0].bandwidth_bps.min(w[1].bandwidth_bps);
+                if lo <= 0.0 {
+                    0.0
+                } else {
+                    (w[1].bandwidth_bps - w[0].bandwidth_bps).abs() / lo
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Cumulative traffic curve: `(t, total bits transferred by t)`,
+    /// one point per sample (Figure 10).
+    pub fn cumulative_traffic(&self) -> Vec<(f64, f64)> {
+        let mut acc = 0.0;
+        self.samples
+            .iter()
+            .map(|s| {
+                acc += s.bits;
+                (s.t, acc)
+            })
+            .collect()
+    }
+
+    /// Render the trace as CSV (`t_s,bandwidth_bps,bits,retransmissions`
+    /// header + one row per sample) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,bandwidth_bps,bits,retransmissions\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                s.t, s.bandwidth_bps, s.bits, s.retransmissions
+            ));
+        }
+        out
+    }
+}
+
+/// Packet-level round-trip-time observations from one stream.
+#[derive(Debug, Clone, Default)]
+pub struct RttTrace {
+    /// `(send time s, rtt s)` per sampled segment, time ordered.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl RttTrace {
+    /// RTT values in seconds.
+    pub fn rtts(&self) -> Vec<f64> {
+        self.samples.iter().map(|&(_, r)| r).collect()
+    }
+
+    /// Render as CSV (`t_s,rtt_s`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,rtt_s\n");
+        for &(t, r) in &self.samples {
+            out.push_str(&format!("{t},{r}\n"));
+        }
+        out
+    }
+
+    /// Mean RTT in seconds (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, r)| r).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum RTT in seconds.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, bw: f64) -> BwSample {
+        BwSample {
+            t,
+            bandwidth_bps: bw,
+            bits: bw * 10.0,
+            retransmissions: 3,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let mut tr = BandwidthTrace::new(10.0);
+        tr.samples.push(sample(0.0, 1e9));
+        tr.samples.push(sample(10.0, 2e9));
+        assert_eq!(tr.total_bits(), 3e10);
+        assert_eq!(tr.total_retransmissions(), 6);
+        assert_eq!(tr.mean_bandwidth(), 1.5e9);
+    }
+
+    #[test]
+    fn swing() {
+        let mut tr = BandwidthTrace::new(10.0);
+        tr.samples.push(sample(0.0, 1e9));
+        tr.samples.push(sample(10.0, 2e9)); // +100% relative to min
+        tr.samples.push(sample(20.0, 1.8e9));
+        assert!((tr.max_consecutive_swing() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let mut tr = BandwidthTrace::new(10.0);
+        for i in 0..5 {
+            tr.samples.push(sample(i as f64 * 10.0, 1e9));
+        }
+        let cum = tr.cumulative_traffic();
+        assert_eq!(cum.len(), 5);
+        assert!(cum.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert_eq!(cum.last().unwrap().1, 5e10);
+    }
+
+    #[test]
+    fn rtt_trace_stats() {
+        let tr = RttTrace {
+            samples: vec![(0.0, 0.001), (0.1, 0.003), (0.2, 0.002)],
+        };
+        assert!((tr.mean() - 0.002).abs() < 1e-12);
+        assert_eq!(tr.max(), 0.003);
+        assert_eq!(tr.rtts().len(), 3);
+    }
+
+    #[test]
+    fn csv_exports() {
+        let mut tr = BandwidthTrace::new(10.0);
+        tr.samples.push(sample(0.0, 1e9));
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("t_s,bandwidth_bps,bits,retransmissions\n"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("0,1000000000,10000000000,3"));
+
+        let rt = RttTrace {
+            samples: vec![(0.5, 0.002)],
+        };
+        let csv = rt.to_csv();
+        assert!(csv.starts_with("t_s,rtt_s\n"));
+        assert!(csv.contains("0.5,0.002"));
+    }
+
+    #[test]
+    fn empty_traces_are_safe() {
+        let tr = BandwidthTrace::new(10.0);
+        assert_eq!(tr.mean_bandwidth(), 0.0);
+        assert_eq!(tr.max_consecutive_swing(), 0.0);
+        assert!(tr.cumulative_traffic().is_empty());
+        let rt = RttTrace::default();
+        assert_eq!(rt.mean(), 0.0);
+        assert_eq!(rt.max(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests over shaper, pattern, and fabric invariants.
+
+use netsim::fabric::{Fabric, FlowSpec};
+use netsim::pattern::TrafficPattern;
+use netsim::shaper::{
+    EmpiricalShaper, NoiseConfig, NoiseShaper, PerCoreQos, PerCoreQosConfig, QuantileDist, Shaper,
+    StaticShaper, TokenBucket,
+};
+use proptest::prelude::*;
+
+/// Drive any shaper through a schedule and check universal invariants:
+/// grants are within [0, demand], and replay after reset is identical.
+fn check_shaper_invariants<S: Shaper>(shaper: &mut S, schedule: &[(f64, f64)]) {
+    let mut grants = Vec::new();
+    let mut t = 0.0;
+    for &(dt, demand) in schedule {
+        let g = shaper.transmit(t, dt, demand);
+        assert!(g >= 0.0, "negative grant {g}");
+        assert!(g <= demand + 1e-6, "grant {g} exceeds demand {demand}");
+        grants.push(g);
+        t += dt;
+    }
+    shaper.reset();
+    let mut t = 0.0;
+    for (i, &(dt, demand)) in schedule.iter().enumerate() {
+        let g = shaper.transmit(t, dt, demand);
+        assert_eq!(g, grants[i], "replay diverged at step {i}");
+        t += dt;
+    }
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.01f64..2.0, 0.0f64..5e10), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn token_bucket_universal(schedule in schedule_strategy(), budget in 0.0f64..1e13) {
+        let mut tb = TokenBucket::sigma_rho(budget, 1e9, 10e9);
+        check_shaper_invariants(&mut tb, &schedule);
+    }
+
+    #[test]
+    fn per_core_universal(schedule in schedule_strategy(), seed in 0u64..1000, cores in 1u32..16) {
+        let mut s = PerCoreQos::new(PerCoreQosConfig::gce(cores), seed);
+        check_shaper_invariants(&mut s, &schedule);
+    }
+
+    #[test]
+    fn noise_universal(schedule in schedule_strategy(), seed in 0u64..1000) {
+        let mut s = NoiseShaper::new(NoiseConfig::hpccloud(), seed);
+        check_shaper_invariants(&mut s, &schedule);
+        // Noise shaper never exceeds its ceiling per step.
+        s.reset();
+        let mut t = 0.0;
+        for &(dt, _) in &schedule {
+            let g = s.transmit(t, dt, f64::INFINITY);
+            prop_assert!(g <= 10.4e9 * dt + 1e-3);
+            t += dt;
+        }
+    }
+
+    #[test]
+    fn empirical_universal(
+        schedule in schedule_strategy(),
+        seed in 0u64..1000,
+        interval in 1.0f64..60.0,
+    ) {
+        let dist = QuantileDist::from_box(1e8, 3e8, 5e8, 7e8, 9e8);
+        let mut s = EmpiricalShaper::new(dist, interval, seed);
+        check_shaper_invariants(&mut s, &schedule);
+        // Grants bounded by the distribution's support.
+        s.reset();
+        let mut t = 0.0;
+        for &(dt, _) in &schedule {
+            let g = s.transmit(t, dt, f64::INFINITY);
+            prop_assert!(g <= 9e8 * dt + 1e-3, "g {} dt {}", g, dt);
+            t += dt;
+        }
+    }
+
+    #[test]
+    fn static_universal(schedule in schedule_strategy(), rate in 0.0f64..1e11) {
+        let mut s = StaticShaper::new(rate);
+        check_shaper_invariants(&mut s, &schedule);
+    }
+
+    /// Duty-cycle patterns: measured on-fraction over many periods
+    /// converges to on/(on+off).
+    #[test]
+    fn pattern_duty_fraction(on in 1.0f64..30.0, off in 1.0f64..60.0) {
+        let p = TrafficPattern::DutyCycle { on_s: on, off_s: off };
+        let period = on + off;
+        let steps = 20_000;
+        let dt = period * 50.0 / steps as f64;
+        let on_steps = (0..steps).filter(|&i| p.is_on(i as f64 * dt)).count();
+        let measured = on_steps as f64 / steps as f64;
+        prop_assert!((measured - p.duty_fraction()).abs() < 0.02);
+    }
+
+    /// Max-min fairness: symmetric flows through one bottleneck get
+    /// equal rates, and no node's egress cap is exceeded.
+    #[test]
+    fn maxmin_symmetric_fairness(n_senders in 2usize..8, cap_gbps in 1.0f64..20.0) {
+        let cap = cap_gbps * 1e9;
+        let mut fabric = Fabric::new();
+        // Senders + one sink; sink ingress is the shared bottleneck.
+        for _ in 0..n_senders {
+            fabric.add_node(StaticShaper::new(cap * 10.0), cap * 10.0);
+        }
+        let sink = fabric.add_node(StaticShaper::new(cap), cap);
+        let ids: Vec<_> = (0..n_senders)
+            .map(|s| fabric.start_flow(FlowSpec::new(s, sink, 1e15)))
+            .collect();
+        fabric.step(0.1);
+        let rates: Vec<f64> = ids.iter().map(|&id| fabric.flow_last_rate(id).unwrap()).collect();
+        let expected = cap / n_senders as f64;
+        for r in &rates {
+            prop_assert!((r - expected).abs() / expected < 1e-6, "rate {} expected {}", r, expected);
+        }
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= cap * 1.000001);
+    }
+
+    /// Fabric progress: every finite flow eventually completes when all
+    /// caps are positive.
+    #[test]
+    fn fabric_liveness(
+        bits in 1e6f64..1e11,
+        rate in 1e8f64..1e10,
+    ) {
+        let mut fabric = Fabric::new();
+        fabric.add_node(StaticShaper::new(rate), rate);
+        fabric.add_node(StaticShaper::new(rate), rate);
+        fabric.start_flow(FlowSpec::new(0, 1, bits));
+        let mut steps = 0u64;
+        while fabric.active_flows() > 0 {
+            fabric.step(1.0);
+            steps += 1;
+            prop_assert!(steps < 10_000_000, "flow did not complete");
+        }
+        // Completion time ≈ bits / rate.
+        let expected = bits / rate;
+        prop_assert!((fabric.now() - expected).abs() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! A complement to the order-statistic CIs of [`crate::ci`]: works for
+//! *any* statistic (means, trimmed means, coefficients of variation,
+//! slowdown ratios), at the price of resampling cost and an explicit
+//! seed. Used by the reporting layer when the statistic of interest is
+//! not a plain quantile.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Statistic computed on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Nominal confidence level.
+    pub confidence: f64,
+    /// Number of resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile bootstrap CI for `statistic` over `samples`.
+///
+/// * `resamples` — number of bootstrap replicates (1000+ recommended).
+/// * `conf` — confidence level, e.g. 0.95.
+/// * `seed` — RNG seed (deterministic output).
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    statistic: F,
+    resamples: usize,
+    conf: f64,
+    seed: u64,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "bootstrap of empty sample");
+    assert!(resamples >= 2);
+    assert!(conf > 0.0 && conf < 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = samples.len();
+    let mut replicates = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = samples[rng.gen_range(0..n)];
+        }
+        replicates.push(statistic(&buf));
+    }
+    replicates.sort_by(|a, b| a.partial_cmp(b).expect("NaN replicate"));
+    let alpha = 1.0 - conf;
+    let lower = crate::describe::quantile_sorted(&replicates, alpha / 2.0);
+    let upper = crate::describe::quantile_sorted(&replicates, 1.0 - alpha / 2.0);
+    BootstrapCi {
+        estimate: statistic(samples),
+        lower,
+        upper,
+        confidence: conf,
+        resamples,
+    }
+}
+
+/// Moving-block bootstrap CI for autocorrelated series.
+///
+/// The plain bootstrap assumes exchangeable (iid) samples — exactly the
+/// assumption cloud time series violate (Section 3.1's sample-to-sample
+/// correlation; finding F5.4). The moving-block variant resamples
+/// contiguous blocks of length `block_len`, preserving the short-range
+/// dependence structure inside each block, so the CI widths reflect the
+/// *effective* (smaller) sample size of a correlated series.
+///
+/// A common block-length default is `n^(1/3)`, available via
+/// [`default_block_len`].
+pub fn block_bootstrap_ci<F>(
+    samples: &[f64],
+    statistic: F,
+    block_len: usize,
+    resamples: usize,
+    conf: f64,
+    seed: u64,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "bootstrap of empty sample");
+    assert!(block_len >= 1 && block_len <= samples.len());
+    assert!(resamples >= 2);
+    assert!(conf > 0.0 && conf < 1.0);
+    let n = samples.len();
+    let n_starts = n - block_len + 1;
+    let blocks_needed = n.div_ceil(block_len);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicates = Vec::with_capacity(resamples);
+    let mut buf = Vec::with_capacity(blocks_needed * block_len);
+    for _ in 0..resamples {
+        buf.clear();
+        for _ in 0..blocks_needed {
+            let start = rng.gen_range(0..n_starts);
+            buf.extend_from_slice(&samples[start..start + block_len]);
+        }
+        buf.truncate(n);
+        replicates.push(statistic(&buf));
+    }
+    replicates.sort_by(|a, b| a.partial_cmp(b).expect("NaN replicate"));
+    let alpha = 1.0 - conf;
+    BootstrapCi {
+        estimate: statistic(samples),
+        lower: crate::describe::quantile_sorted(&replicates, alpha / 2.0),
+        upper: crate::describe::quantile_sorted(&replicates, 1.0 - alpha / 2.0),
+        confidence: conf,
+        resamples,
+    }
+}
+
+/// The `n^(1/3)` block-length rule of thumb (at least 1).
+pub fn default_block_len(n: usize) -> usize {
+    ((n as f64).powf(1.0 / 3.0).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{mean, median};
+
+    fn uniform_samples(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() * 100.0).collect()
+    }
+
+    #[test]
+    fn mean_ci_brackets_true_mean() {
+        let xs = uniform_samples(500, 1);
+        let ci = bootstrap_ci(&xs, mean, 1000, 0.95, 42);
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        // True mean 50; CI of a 500-sample mean should be tight-ish.
+        assert!(ci.contains_value(50.0), "{ci:?}");
+        assert!(ci.upper - ci.lower < 12.0);
+    }
+
+    #[test]
+    fn median_ci_works_too() {
+        let xs = uniform_samples(300, 2);
+        let ci = bootstrap_ci(&xs, median, 800, 0.95, 7);
+        assert!(ci.lower <= ci.upper);
+        assert!(ci.contains_value(ci.estimate));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = uniform_samples(50, 3);
+        let a = bootstrap_ci(&xs, mean, 500, 0.95, 9);
+        let b = bootstrap_ci(&xs, mean, 500, 0.95, 9);
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, mean, 500, 0.95, 10);
+        assert_ne!(a.lower, c.lower);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let xs = uniform_samples(100, 4);
+        let w90 = {
+            let ci = bootstrap_ci(&xs, mean, 2000, 0.90, 5);
+            ci.upper - ci.lower
+        };
+        let w99 = {
+            let ci = bootstrap_ci(&xs, mean, 2000, 0.99, 5);
+            ci.upper - ci.lower
+        };
+        assert!(w99 > w90);
+    }
+
+    impl BootstrapCi {
+        fn contains_value(&self, v: f64) -> bool {
+            v >= self.lower && v <= self.upper
+        }
+    }
+
+    /// AR(1) series for block-bootstrap tests.
+    fn ar1_series(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = vec![0.0f64];
+        for _ in 1..n {
+            let e: f64 = rng.gen::<f64>() - 0.5;
+            xs.push(phi * xs.last().unwrap() + e);
+        }
+        xs.iter().map(|x| 100.0 + x).collect()
+    }
+
+    #[test]
+    fn block_bootstrap_is_wider_on_correlated_data() {
+        // Strongly autocorrelated series: the iid bootstrap underrates
+        // the uncertainty of the mean; the block bootstrap does not.
+        let xs = ar1_series(400, 0.9, 5);
+        let iid = bootstrap_ci(&xs, mean, 1500, 0.95, 1);
+        let blocked = block_bootstrap_ci(&xs, mean, 20, 1500, 0.95, 1);
+        assert!(
+            blocked.upper - blocked.lower > 1.5 * (iid.upper - iid.lower),
+            "blocked [{:.3},{:.3}] vs iid [{:.3},{:.3}]",
+            blocked.lower,
+            blocked.upper,
+            iid.lower,
+            iid.upper
+        );
+    }
+
+    #[test]
+    fn block_len_one_recovers_iid_behaviour() {
+        let xs = ar1_series(200, 0.0, 6);
+        let iid = bootstrap_ci(&xs, mean, 1000, 0.95, 2);
+        let blocked = block_bootstrap_ci(&xs, mean, 1, 1000, 0.95, 3);
+        let w_iid = iid.upper - iid.lower;
+        let w_blk = blocked.upper - blocked.lower;
+        assert!((w_blk / w_iid - 1.0).abs() < 0.35, "iid {w_iid} blk {w_blk}");
+    }
+
+    #[test]
+    fn block_bootstrap_brackets_and_is_deterministic() {
+        let xs = ar1_series(150, 0.5, 7);
+        let block = default_block_len(xs.len());
+        let a = block_bootstrap_ci(&xs, median, block, 500, 0.95, 9);
+        let b = block_bootstrap_ci(&xs, median, block, 500, 0.95, 9);
+        assert_eq!(a, b);
+        assert!(a.lower <= a.upper);
+    }
+
+    #[test]
+    fn default_block_len_rule() {
+        assert_eq!(default_block_len(1), 1);
+        assert_eq!(default_block_len(27), 3);
+        assert_eq!(default_block_len(1000), 10);
+    }
+}

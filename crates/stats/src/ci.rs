@@ -1,0 +1,279 @@
+//! Nonparametric confidence intervals for quantiles.
+//!
+//! The paper's CI machinery (Figures 3, 13, 19) is the distribution-free
+//! binomial order-statistic method of Le Boudec, *Performance Evaluation
+//! of Computer and Communication Systems* (2011), also used by CONFIRM
+//! (Maricq et al., OSDI'18): for `n` iid samples, the number of samples
+//! below the true `p`-quantile is Binomial(n, p), so ranks
+//!
+//! ```text
+//! lo = floor(n·p − z·sqrt(n·p·(1−p)))        (1-indexed, clamped ≥ 1)
+//! hi = ceil (n·p + z·sqrt(n·p·(1−p))) + 1    (clamped ≤ n)
+//! ```
+//!
+//! bound the quantile with ≈`conf` probability, *without any normality
+//! assumption about the data itself*. The intervals are asymmetric for
+//! tail quantiles — exactly why the paper can bound the 90th percentile
+//! of TPC-DS Q68 (Figure 3b).
+//!
+//! For small `n` the required ranks may not exist (e.g. the paper
+//! footnotes that "three repetitions are insufficient to calculate
+//! CIs") — [`quantile_ci`] returns `None` in that case.
+
+use crate::describe::quantile_sorted;
+use crate::dist::normal_quantile;
+
+/// A nonparametric CI for a quantile estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileCi {
+    /// Point estimate (interpolated order statistic).
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Nominal confidence level (e.g. 0.95).
+    pub confidence: f64,
+    /// Sample size used.
+    pub n: usize,
+}
+
+impl QuantileCi {
+    /// CI width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Half-width relative to the estimate (the paper's "error bound",
+    /// e.g. Figure 13's 1% bounds). Uses the larger one-sided distance,
+    /// as the interval is asymmetric. Returns `f64::INFINITY` if the
+    /// estimate is 0.
+    pub fn relative_error(&self) -> f64 {
+        if self.estimate == 0.0 {
+            return f64::INFINITY;
+        }
+        let lo = (self.estimate - self.lower).abs();
+        let hi = (self.upper - self.estimate).abs();
+        lo.max(hi) / self.estimate.abs()
+    }
+
+    /// Does the interval contain `value`?
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Compute the 1-indexed order-statistic ranks `(lo, hi)` bounding the
+/// `p`-quantile at level `conf`, or `None` if `n` is too small.
+///
+/// Uses exact binomial tail probabilities for `n <= 200` (the normal
+/// approximation is too conservative for the small-n regime the paper
+/// cares about — e.g. it would reject n = 6 for a 95% median CI, which
+/// classically works) and the normal approximation above that.
+pub fn ci_ranks(n: usize, p: f64, conf: f64) -> Option<(usize, usize)> {
+    if n < 2 {
+        return None;
+    }
+    let alpha = 1.0 - conf;
+    if n <= 200 {
+        // Exact: B ~ Binomial(n, p) counts samples below the quantile.
+        // lo = largest rank with P(B <= lo-1) <= alpha/2;
+        // hi = smallest rank with P(B >= hi) <= alpha/2.
+        let cdf = binomial_cdf_table(n, p);
+        let mut lo = 0usize;
+        for l in 1..=n {
+            if cdf[l - 1] <= alpha / 2.0 {
+                lo = l;
+            } else {
+                break;
+            }
+        }
+        let mut hi = 0usize;
+        for h in (1..=n).rev() {
+            // P(B >= h) = 1 - P(B <= h-1)
+            if 1.0 - cdf[h - 1] <= alpha / 2.0 {
+                hi = h;
+            } else {
+                break;
+            }
+        }
+        if lo >= 1 && hi >= 1 && lo < hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    } else {
+        let z = normal_quantile(0.5 + conf / 2.0);
+        let nf = n as f64;
+        let sd = (nf * p * (1.0 - p)).sqrt();
+        let lo = (nf * p - z * sd).floor();
+        let hi = (nf * p + z * sd).ceil() + 1.0;
+        if lo < 1.0 || hi > nf {
+            None
+        } else {
+            Some((lo as usize, hi as usize))
+        }
+    }
+}
+
+/// CDF table `P(B <= k)` for `k in 0..=n`, `B ~ Binomial(n, p)`.
+fn binomial_cdf_table(n: usize, p: f64) -> Vec<f64> {
+    use crate::dist::ln_gamma;
+    let ln_n_fact = ln_gamma(n as f64 + 1.0);
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let mut acc = 0.0;
+    (0..=n)
+        .map(|k| {
+            let kf = k as f64;
+            let ln_pmf = ln_n_fact - ln_gamma(kf + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+                + kf * lp
+                + (n as f64 - kf) * lq;
+            acc += ln_pmf.exp();
+            acc.min(1.0)
+        })
+        .collect()
+}
+
+/// Nonparametric CI for the `p`-quantile of `samples` at confidence
+/// level `conf` (e.g. 0.95). Returns `None` when `n` is too small for
+/// the requested level.
+///
+/// ```
+/// use vstats::ci::quantile_ci;
+///
+/// // The paper's footnote: 3 repetitions cannot produce a 95% CI.
+/// assert!(quantile_ci(&[1.0, 2.0, 3.0], 0.5, 0.95).is_none());
+///
+/// let runtimes: Vec<f64> = (1..=50).map(|i| 100.0 + (i % 7) as f64).collect();
+/// let ci = quantile_ci(&runtimes, 0.5, 0.95).unwrap();
+/// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+/// assert!(ci.relative_error() < 0.03);
+/// ```
+pub fn quantile_ci(samples: &[f64], p: f64, conf: f64) -> Option<QuantileCi> {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p in (0,1) required");
+    assert!(conf > 0.0 && conf < 1.0, "conf in (0,1) required");
+    let n = samples.len();
+    let (lo_rank, hi_rank) = ci_ranks(n, p, conf)?;
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    Some(QuantileCi {
+        estimate: quantile_sorted(&sorted, p),
+        lower: sorted[lo_rank - 1],
+        upper: sorted[hi_rank - 1],
+        confidence: conf,
+        n,
+    })
+}
+
+/// Convenience: 95% CI for the median.
+pub fn median_ci(samples: &[f64]) -> Option<QuantileCi> {
+    quantile_ci(samples, 0.5, 0.95)
+}
+
+/// Minimum `n` for which a `conf`-level CI of the `p`-quantile exists
+/// (smallest n where the binomial ranks are feasible).
+pub fn min_samples_for_ci(p: f64, conf: f64) -> usize {
+    (2..100_000)
+        .find(|&n| ci_ranks(n, p, conf).is_some())
+        .expect("no feasible n below 100000")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn three_repetitions_are_insufficient() {
+        // The paper's footnote: 3 reps cannot produce a 95% median CI.
+        assert!(quantile_ci(&seq(3), 0.5, 0.95).is_none());
+        assert!(quantile_ci(&seq(5), 0.5, 0.95).is_none());
+        // n = 6 is the classic minimum for a 95% median CI.
+        assert!(quantile_ci(&seq(6), 0.5, 0.95).is_some());
+        assert_eq!(min_samples_for_ci(0.5, 0.95), 6);
+    }
+
+    #[test]
+    fn tail_quantiles_need_many_more_samples() {
+        let n_med = min_samples_for_ci(0.5, 0.95);
+        let n_p90 = min_samples_for_ci(0.9, 0.95);
+        assert!(n_p90 > 3 * n_med, "median {n_med}, p90 {n_p90}");
+        assert!(quantile_ci(&seq(10), 0.9, 0.95).is_none());
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let xs = seq(50);
+        let ci = quantile_ci(&xs, 0.5, 0.95).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.contains(ci.estimate));
+        assert_eq!(ci.n, 50);
+        assert!((ci.estimate - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_ranks_for_n_100_median() {
+        // n=100, p=0.5, z=1.96: lo = floor(50 − 9.8) = 40,
+        // hi = ceil(50 + 9.8) + 1 = 61.
+        let xs = seq(100);
+        let ci = quantile_ci(&xs, 0.5, 0.95).unwrap();
+        assert_eq!(ci.lower, 40.0);
+        assert_eq!(ci.upper, 61.0);
+    }
+
+    #[test]
+    fn more_samples_tighten_the_interval() {
+        // With values drawn from a fixed pseudo-random pattern, the CI
+        // width should shrink roughly as 1/sqrt(n).
+        let gen = |n: usize| -> Vec<f64> {
+            (0..n).map(|i| ((i * 2654435761) % 1000) as f64).collect()
+        };
+        let w50 = quantile_ci(&gen(50), 0.5, 0.95).unwrap().width();
+        let w500 = quantile_ci(&gen(500), 0.5, 0.95).unwrap().width();
+        let w5000 = quantile_ci(&gen(5000), 0.5, 0.95).unwrap().width();
+        assert!(w500 < w50);
+        assert!(w5000 < w500);
+    }
+
+    #[test]
+    fn coverage_is_close_to_nominal() {
+        // Empirical check: CI for the median of Uniform(0,1) samples
+        // should contain 0.5 about 95% of the time.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let mut covered = 0;
+        let trials = 600;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..60).map(|_| rng.gen::<f64>()).collect();
+            if quantile_ci(&xs, 0.5, 0.95).unwrap().contains(0.5) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!(rate > 0.91 && rate <= 1.0, "coverage {rate}");
+    }
+
+    #[test]
+    fn relative_error_tracks_asymmetry() {
+        let ci = QuantileCi {
+            estimate: 100.0,
+            lower: 95.0,
+            upper: 112.0,
+            confidence: 0.95,
+            n: 42,
+        };
+        assert!((ci.relative_error() - 0.12).abs() < 1e-12);
+        assert_eq!(ci.width(), 17.0);
+    }
+
+    #[test]
+    fn higher_confidence_widens_interval() {
+        let xs = seq(200);
+        let w90 = quantile_ci(&xs, 0.5, 0.90).unwrap().width();
+        let w99 = quantile_ci(&xs, 0.5, 0.99).unwrap().width();
+        assert!(w99 > w90);
+    }
+}

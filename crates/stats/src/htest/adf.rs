@@ -1,0 +1,219 @@
+//! Augmented Dickey–Fuller unit-root test (stationarity check of F5.4).
+//!
+//! Regression (constant, no trend):
+//!
+//! ```text
+//! Δy_t = α + β·y_{t−1} + Σ_{i=1..k} γ_i·Δy_{t−i} + ε_t
+//! ```
+//!
+//! The test statistic is the t-ratio of β̂. Under the unit-root null it
+//! follows the Dickey–Fuller distribution; we compare against
+//! MacKinnon's asymptotic critical values for the constant-only case.
+//! A *more negative* statistic rejects the unit root, i.e. supports
+//! stationarity.
+
+/// Result of an ADF test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdfResult {
+    /// The Dickey–Fuller t-statistic of β̂.
+    pub statistic: f64,
+    /// Lag order used.
+    pub lags: usize,
+    /// Observations used in the regression.
+    pub n_obs: usize,
+}
+
+impl AdfResult {
+    /// MacKinnon asymptotic critical values (constant, no trend).
+    pub fn critical_value(level: f64) -> f64 {
+        if level <= 0.01 {
+            -3.43
+        } else if level <= 0.05 {
+            -2.86
+        } else {
+            -2.57
+        }
+    }
+
+    /// Reject the unit root (conclude stationary) at `level`?
+    pub fn stationary_at(&self, level: f64) -> bool {
+        self.statistic < Self::critical_value(level)
+    }
+}
+
+/// Solve the linear system `X'X b = X'y` via Gaussian elimination with
+/// partial pivoting. `x` is row-major with `cols` columns.
+fn ols(x: &[f64], y: &[f64], cols: usize) -> (Vec<f64>, Vec<f64>) {
+    let rows = y.len();
+    assert_eq!(x.len(), rows * cols);
+    // Normal equations.
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        for i in 0..cols {
+            xty[i] += x[r * cols + i] * y[r];
+            for j in 0..cols {
+                xtx[i * cols + j] += x[r * cols + i] * x[r * cols + j];
+            }
+        }
+    }
+    // Invert X'X (augmented Gaussian elimination) — small (k+2)².
+    let nc = cols;
+    let mut aug = vec![0.0; nc * 2 * nc];
+    for i in 0..nc {
+        for j in 0..nc {
+            aug[i * 2 * nc + j] = xtx[i * nc + j];
+        }
+        aug[i * 2 * nc + nc + i] = 1.0;
+    }
+    for col in 0..nc {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..nc {
+            if aug[r * 2 * nc + col].abs() > aug[piv * 2 * nc + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for j in 0..2 * nc {
+                aug.swap(col * 2 * nc + j, piv * 2 * nc + j);
+            }
+        }
+        let d = aug[col * 2 * nc + col];
+        assert!(d.abs() > 1e-12, "singular design matrix in ADF regression");
+        for j in 0..2 * nc {
+            aug[col * 2 * nc + j] /= d;
+        }
+        for r in 0..nc {
+            if r == col {
+                continue;
+            }
+            let f = aug[r * 2 * nc + col];
+            for j in 0..2 * nc {
+                aug[r * 2 * nc + j] -= f * aug[col * 2 * nc + j];
+            }
+        }
+    }
+    let mut inv = vec![0.0; nc * nc];
+    for i in 0..nc {
+        for j in 0..nc {
+            inv[i * nc + j] = aug[i * 2 * nc + nc + j];
+        }
+    }
+    // b = inv * X'y
+    let mut beta = vec![0.0; nc];
+    for i in 0..nc {
+        for j in 0..nc {
+            beta[i] += inv[i * nc + j] * xty[j];
+        }
+    }
+    // Standard errors: sigma² * diag(inv).
+    let mut rss = 0.0;
+    for r in 0..rows {
+        let mut yhat = 0.0;
+        for i in 0..cols {
+            yhat += x[r * cols + i] * beta[i];
+        }
+        rss += (y[r] - yhat) * (y[r] - yhat);
+    }
+    let dof = (rows - cols).max(1) as f64;
+    let sigma2 = rss / dof;
+    let se: Vec<f64> = (0..nc).map(|i| (sigma2 * inv[i * nc + i]).sqrt()).collect();
+    (beta, se)
+}
+
+/// Augmented Dickey–Fuller test with `lags` lagged differences.
+/// Panics if the series is too short (needs `lags + 10` points).
+pub fn adf_test(y: &[f64], lags: usize) -> AdfResult {
+    let n = y.len();
+    assert!(n >= lags + 10, "series too short for ADF with {lags} lags");
+
+    // Differences.
+    let dy: Vec<f64> = y.windows(2).map(|w| w[1] - w[0]).collect();
+
+    // Rows: t from (lags+1)..dy.len(); columns: [const, y_{t-1}, Δy_{t-1..t-k}].
+    let cols = 2 + lags;
+    let start = lags;
+    let rows = dy.len() - start;
+    let mut x = Vec::with_capacity(rows * cols);
+    let mut target = Vec::with_capacity(rows);
+    for t in start..dy.len() {
+        x.push(1.0);
+        x.push(y[t]); // y_{t-1} relative to dy[t] = y[t+1]-y[t]
+        for i in 1..=lags {
+            x.push(dy[t - i]);
+        }
+        target.push(dy[t]);
+    }
+    let (beta, se) = ols(&x, &target, cols);
+    let statistic = beta[1] / se[1];
+    AdfResult {
+        statistic,
+        lags,
+        n_obs: rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn stationary_ar1_rejects_unit_root() {
+        let mut r = rng(1);
+        let mut y = vec![0.0f64];
+        for _ in 0..500 {
+            let e: f64 = r.gen::<f64>() - 0.5;
+            y.push(0.5 * y.last().unwrap() + e);
+        }
+        let res = adf_test(&y, 1);
+        assert!(res.stationary_at(0.01), "stat {}", res.statistic);
+    }
+
+    #[test]
+    fn random_walk_fails_to_reject() {
+        let mut r = rng(2);
+        let mut y = vec![0.0f64];
+        for _ in 0..500 {
+            let e: f64 = r.gen::<f64>() - 0.5;
+            y.push(y.last().unwrap() + e);
+        }
+        let res = adf_test(&y, 1);
+        assert!(!res.stationary_at(0.05), "stat {}", res.statistic);
+    }
+
+    #[test]
+    fn white_noise_is_strongly_stationary() {
+        let mut r = rng(3);
+        let y: Vec<f64> = (0..300).map(|_| r.gen::<f64>()).collect();
+        let res = adf_test(&y, 2);
+        assert!(res.statistic < -5.0, "stat {}", res.statistic);
+        assert!(res.stationary_at(0.01));
+    }
+
+    #[test]
+    fn critical_values_ordering() {
+        assert!(AdfResult::critical_value(0.01) < AdfResult::critical_value(0.05));
+        assert!(AdfResult::critical_value(0.05) < AdfResult::critical_value(0.10));
+    }
+
+    #[test]
+    fn lag_zero_equivalent_series_works() {
+        let mut r = rng(4);
+        let y: Vec<f64> = (0..100).map(|_| r.gen::<f64>() * 10.0).collect();
+        let res = adf_test(&y, 0);
+        assert!(res.statistic.is_finite());
+        assert_eq!(res.lags, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_series() {
+        adf_test(&[1.0; 8], 1);
+    }
+}

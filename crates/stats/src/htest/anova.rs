@@ -1,0 +1,132 @@
+//! One-way ANOVA.
+//!
+//! Finding F5.3: "standard statistical tools such as ANOVA and
+//! confidence intervals are effective ways of achieving robust results
+//! in the face of random variations". One-way ANOVA compares mean
+//! performance across groups (e.g. the same benchmark on clouds A–H, or
+//! across token-budget levels) against within-group noise.
+
+use crate::dist::f_cdf;
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnovaResult {
+    /// F statistic (between-group MS / within-group MS).
+    pub f: f64,
+    /// Between-group degrees of freedom (k − 1).
+    pub df_between: f64,
+    /// Within-group degrees of freedom (N − k).
+    pub df_within: f64,
+    /// P-value of the null "all group means equal".
+    pub p_value: f64,
+}
+
+impl AnovaResult {
+    /// Reject equal means at `alpha`?
+    pub fn rejects_equal_means(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-way ANOVA over `groups` (each a sample of observations).
+/// Panics with fewer than two groups or any group smaller than 2.
+pub fn one_way_anova(groups: &[&[f64]]) -> AnovaResult {
+    assert!(groups.len() >= 2, "ANOVA needs at least two groups");
+    for g in groups {
+        assert!(g.len() >= 2, "each group needs at least two observations");
+    }
+    let k = groups.len() as f64;
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    let nf = n_total as f64;
+    let grand_mean =
+        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / nf;
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let gm = g.iter().sum::<f64>() / g.len() as f64;
+        ss_between += g.len() as f64 * (gm - grand_mean).powi(2);
+        ss_within += g.iter().map(|x| (x - gm).powi(2)).sum::<f64>();
+    }
+    let df_between = k - 1.0;
+    let df_within = nf - k;
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+    let f = if ms_within > 0.0 {
+        ms_between / ms_within
+    } else if ms_between > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let p_value = if f.is_finite() {
+        1.0 - f_cdf(f, df_between, df_within)
+    } else {
+        0.0
+    };
+    AnovaResult {
+        f,
+        df_between,
+        df_within,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn group(n: usize, mean: f64, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| mean + rng.gen::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn equal_means_not_rejected() {
+        let a = group(50, 10.0, 1);
+        let b = group(50, 10.0, 2);
+        let c = group(50, 10.0, 3);
+        let r = one_way_anova(&[&a, &b, &c]);
+        assert!(!r.rejects_equal_means(0.01), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn different_means_rejected() {
+        let a = group(30, 10.0, 4);
+        let b = group(30, 11.0, 5);
+        let c = group(30, 12.0, 6);
+        let r = one_way_anova(&[&a, &b, &c]);
+        assert!(r.rejects_equal_means(0.001), "p {}", r.p_value);
+        assert!(r.f > 10.0);
+    }
+
+    #[test]
+    fn textbook_f_value() {
+        // Groups with no within variance would blow up; use a simple
+        // hand-checked case instead.
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        // grand mean 2.5; ss_between = 3*(2-2.5)^2 + 3*(3-2.5)^2 = 1.5
+        // ss_within = 2 + 2 = 4; F = (1.5/1)/(4/4) = 1.5
+        let r = one_way_anova(&[&a, &b]);
+        assert!((r.f - 1.5).abs() < 1e-12, "F {}", r.f);
+        assert_eq!(r.df_between, 1.0);
+        assert_eq!(r.df_within, 4.0);
+    }
+
+    #[test]
+    fn zero_within_variance_gives_infinite_f() {
+        let a = [1.0, 1.0];
+        let b = [2.0, 2.0];
+        let r = one_way_anova(&[&a, &b]);
+        assert!(r.f.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn rejects_single_group() {
+        one_way_anova(&[&[1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Kruskal–Wallis H test — nonparametric one-way ANOVA.
+//!
+//! Finding F5.4: "When results are not normally-distributed,
+//! non-parametric statistics can be used [Gibbons & Chakraborti]".
+//! Cloud runtimes are rarely normal (Shapiro–Wilk rejects routinely),
+//! so comparing treatments (clouds, budgets, instance types) should use
+//! ranks: Kruskal–Wallis generalizes Mann–Whitney to k groups the way
+//! ANOVA generalizes the t-test.
+
+use crate::dist::chi2_cdf;
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KruskalWallisResult {
+    /// The H statistic (tie-corrected).
+    pub h: f64,
+    /// Degrees of freedom (k − 1).
+    pub df: f64,
+    /// P-value under the chi-squared approximation.
+    pub p_value: f64,
+}
+
+impl KruskalWallisResult {
+    /// Reject "all groups from the same distribution" at `alpha`?
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Kruskal–Wallis H test over `groups`. Panics with fewer than two
+/// groups or any empty group.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> KruskalWallisResult {
+    assert!(groups.len() >= 2, "need at least two groups");
+    for g in groups {
+        assert!(!g.is_empty(), "empty group");
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    let nf = n_total as f64;
+
+    // Pool and mid-rank.
+    let mut pooled: Vec<(f64, usize)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.iter().map(move |&v| (v, gi)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sample"));
+    let mut rank_sums = vec![0.0f64; groups.len()];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            rank_sums[pooled[k].1] += mid_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j + 1;
+    }
+
+    let mut h = 0.0;
+    for (gi, g) in groups.iter().enumerate() {
+        h += rank_sums[gi] * rank_sums[gi] / g.len() as f64;
+    }
+    h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+    // Tie correction.
+    let correction = 1.0 - tie_term / (nf * nf * nf - nf);
+    if correction > 0.0 {
+        h /= correction;
+    }
+
+    let df = (groups.len() - 1) as f64;
+    KruskalWallisResult {
+        h,
+        df,
+        p_value: 1.0 - chi2_cdf(h.max(0.0), df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn group(n: usize, shift: f64, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Deliberately non-normal (exponential-ish).
+        (0..n)
+            .map(|_| shift - (rng.gen::<f64>().max(1e-12)).ln())
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_not_rejected() {
+        let a = group(40, 0.0, 1);
+        let b = group(40, 0.0, 2);
+        let c = group(40, 0.0, 3);
+        let r = kruskal_wallis(&[&a, &b, &c]);
+        assert!(!r.rejects_same_distribution(0.01), "p {}", r.p_value);
+        assert_eq!(r.df, 2.0);
+    }
+
+    #[test]
+    fn shifted_groups_rejected() {
+        let a = group(40, 0.0, 4);
+        let b = group(40, 1.0, 5);
+        let c = group(40, 2.0, 6);
+        let r = kruskal_wallis(&[&a, &b, &c]);
+        assert!(r.rejects_same_distribution(0.001), "p {}", r.p_value);
+        assert!(r.h > 13.8); // chi2(0.999; 2)
+    }
+
+    #[test]
+    fn two_groups_agree_with_mann_whitney_direction() {
+        use crate::htest::mannwhitney::mann_whitney_u;
+        let a = group(30, 0.0, 7);
+        let b = group(30, 0.8, 8);
+        let kw = kruskal_wallis(&[&a, &b]);
+        let mw = mann_whitney_u(&a, &b);
+        // Both should reject (or not) together for a clear shift.
+        assert_eq!(
+            kw.rejects_same_distribution(0.01),
+            mw.rejects_same_distribution(0.01)
+        );
+    }
+
+    #[test]
+    fn handles_ties() {
+        let a = [1.0, 1.0, 2.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 3.0, 3.0];
+        let r = kruskal_wallis(&[&a, &b]);
+        assert!(r.h.is_finite());
+        assert!(!r.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn textbook_h_statistic() {
+        // Hand-checkable: groups {1,2,3}, {4,5,6}, {7,8,9}: ranks are
+        // 1..9 in order; H = 12/(9·10)·(36+225+576)/3 − 30 = 7.2.
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let c = [7.0, 8.0, 9.0];
+        let r = kruskal_wallis(&[&a, &b, &c]);
+        assert!((r.h - 7.2).abs() < 1e-9, "H {}", r.h);
+    }
+
+    #[test]
+    #[should_panic(expected = "two groups")]
+    fn rejects_single_group() {
+        kruskal_wallis(&[&[1.0, 2.0]]);
+    }
+}

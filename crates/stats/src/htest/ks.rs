@@ -1,0 +1,141 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Finding F5.1 recommends cross-cloud runs as *sensitivity analysis*:
+//! "by running the same system with the same input data and same
+//! parameters on multiple clouds, experimenters can reveal how
+//! sensitive the results are to the choices made by each provider."
+//! The KS statistic quantifies that sensitivity — the largest gap
+//! between the two runtime distributions — without assuming any shape.
+
+use crate::describe::ecdf;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The D statistic: sup |F1(x) − F2(x)|.
+    pub d: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// Reject "same distribution" at `alpha`?
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample KS test. Panics on empty samples.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let fa = ecdf(a);
+    let fb = ecdf(b);
+
+    // Walk the merged support computing the max CDF gap; at each
+    // distinct value, consume every tied observation on both sides
+    // before evaluating the gap (ties must move the CDFs atomically).
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut ca, mut cb) = (0.0f64, 0.0f64);
+    while i < fa.len() || j < fb.len() {
+        let xa = fa.get(i).map(|p| p.0).unwrap_or(f64::INFINITY);
+        let xb = fb.get(j).map(|p| p.0).unwrap_or(f64::INFINITY);
+        let x = xa.min(xb);
+        while i < fa.len() && fa[i].0 == x {
+            ca = fa[i].1;
+            i += 1;
+        }
+        while j < fb.len() && fb[j].0 == x {
+            cb = fb[j].1;
+            j += 1;
+        }
+        d = d.max((ca - cb).abs());
+    }
+
+    // Asymptotic p-value: Q_KS(sqrt(n_e) + 0.12 + 0.11/sqrt(n_e)) * d.
+    let n_e = (a.len() * b.len()) as f64 / (a.len() + b.len()) as f64;
+    let lambda = (n_e.sqrt() + 0.12 + 0.11 / n_e.sqrt()) * d;
+    let p_value = q_ks(lambda);
+    KsResult { d, p_value }
+}
+
+/// Kolmogorov survival function `Q(λ) = 2 Σ (−1)^{k−1} exp(−2 k² λ²)`.
+fn q_ks(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| lo + (hi - lo) * rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn identical_distributions_pass() {
+        let a = uniform(200, 0.0, 1.0, 1);
+        let b = uniform(200, 0.0, 1.0, 2);
+        let r = ks_two_sample(&a, &b);
+        assert!(!r.rejects_same_distribution(0.01), "p {}", r.p_value);
+        assert!(r.d < 0.15, "D {}", r.d);
+    }
+
+    #[test]
+    fn shifted_distributions_fail() {
+        let a = uniform(150, 0.0, 1.0, 3);
+        let b = uniform(150, 0.5, 1.5, 4);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.rejects_same_distribution(0.001), "p {}", r.p_value);
+        assert!(r.d > 0.4);
+    }
+
+    #[test]
+    fn disjoint_supports_give_d_of_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_location_different_shape_detected() {
+        // Same median, very different spread.
+        let a = uniform(300, 0.45, 0.55, 5);
+        let b = uniform(300, 0.0, 1.0, 6);
+        let r = ks_two_sample(&a, &b);
+        assert!(r.rejects_same_distribution(0.001), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = uniform(80, 0.0, 1.0, 7);
+        let b = uniform(60, 0.2, 1.2, 8);
+        let r1 = ks_two_sample(&a, &b);
+        let r2 = ks_two_sample(&b, &a);
+        assert!((r1.d - r2.d).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_ties_and_tiny_samples() {
+        let r = ks_two_sample(&[1.0, 1.0, 1.0], &[1.0, 1.0]);
+        assert!(r.d.abs() < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ljung–Box portmanteau test for autocorrelation.
+//!
+//! A sharper independence check than split-half comparison: tests
+//! whether the first `h` autocorrelations of a series are jointly zero.
+//! Cloud bandwidth traces are strongly autocorrelated (Section 3.1's
+//! sample-to-sample analysis), which is one of the ways the iid
+//! assumption of CI analysis fails.
+
+use crate::autocorr::autocorrelation;
+use crate::dist::chi2_cdf;
+
+/// Result of a Ljung–Box test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBoxResult {
+    /// The Q statistic.
+    pub q: f64,
+    /// Lags tested.
+    pub lags: usize,
+    /// P-value under the chi-squared(`lags`) null.
+    pub p_value: f64,
+}
+
+impl LjungBoxResult {
+    /// Reject independence (no autocorrelation) at `alpha`?
+    pub fn rejects_independence(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Ljung–Box test over lags `1..=h`. Panics if the series is shorter
+/// than `h + 2`.
+pub fn ljung_box(xs: &[f64], h: usize) -> LjungBoxResult {
+    let n = xs.len();
+    assert!(h >= 1 && n > h + 1, "series too short for Ljung–Box({h})");
+    let nf = n as f64;
+    let q = nf
+        * (nf + 2.0)
+        * (1..=h)
+            .map(|k| {
+                let rho = autocorrelation(xs, k);
+                rho * rho / (nf - k as f64)
+            })
+            .sum::<f64>();
+    let p_value = 1.0 - chi2_cdf(q, h as f64);
+    LjungBoxResult {
+        q,
+        lags: h,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn iid_noise_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        let r = ljung_box(&xs, 10);
+        assert!(!r.rejects_independence(0.01), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn ar1_series_fails() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut xs = vec![0.0f64];
+        for _ in 0..500 {
+            let e: f64 = rng.gen::<f64>() - 0.5;
+            xs.push(0.7 * xs.last().unwrap() + e);
+        }
+        let r = ljung_box(&xs, 10);
+        assert!(r.rejects_independence(0.001), "p {}", r.p_value);
+        assert!(r.q > 100.0);
+    }
+
+    #[test]
+    fn periodic_series_fails() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.5).sin()).collect();
+        let r = ljung_box(&xs, 5);
+        assert!(r.rejects_independence(0.001));
+    }
+
+    #[test]
+    fn q_grows_with_lags_for_correlated_data() {
+        let xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let q5 = ljung_box(&xs, 5).q;
+        let q20 = ljung_box(&xs, 20).q;
+        assert!(q20 > q5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_series() {
+        ljung_box(&[1.0, 2.0, 3.0], 5);
+    }
+}

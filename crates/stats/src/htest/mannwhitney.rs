@@ -1,0 +1,157 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum).
+//!
+//! The paper cites Mann & Whitney (1947) as the independence check of
+//! F5.4: applied to the first vs. second half of a measurement
+//! sequence, a significant location shift reveals drift — e.g. the
+//! slow token-budget depletion of Figure 19 — that breaks the iid
+//! assumption behind CI analysis.
+//!
+//! Uses the normal approximation with tie correction (accurate for
+//! group sizes ≳ 8, which all our uses satisfy).
+
+use crate::dist::normal_cdf;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Normal-approximation z score (tie corrected).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl MannWhitneyResult {
+    /// Reject "same distribution" at significance `alpha`?
+    pub fn rejects_same_distribution(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sided Mann–Whitney U test of samples `a` vs `b`.
+/// Panics if either sample is empty.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Pool, sort, assign mid-ranks.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN sample"));
+
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0; // sum of (t^3 - t) over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = mid_rank;
+        }
+        let t = (j - i + 1) as f64;
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let nf = n as f64;
+    let var_u = n1 * n2 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    let z = if var_u > 0.0 {
+        // Continuity correction.
+        let diff = u1 - mean_u;
+        let cc = if diff > 0.0 {
+            -0.5
+        } else if diff < 0.0 {
+            0.5
+        } else {
+            0.0
+        };
+        (diff + cc) / var_u.sqrt()
+    } else {
+        0.0
+    };
+    let p_value = 2.0 * (1.0 - normal_cdf(z.abs()));
+    MannWhitneyResult {
+        u: u1,
+        z,
+        p_value: p_value.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_distributions_are_not_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(!r.rejects_same_distribution(0.05), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distributions_are_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..80).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..80).map(|_| rng.gen::<f64>() + 0.5).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.rejects_same_distribution(0.001), "p {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_in_its_arguments() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
+        let r1 = mann_whitney_u(&a, &b);
+        let r2 = mann_whitney_u(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        // U1 + U2 = n1*n2.
+        assert!((r1.u + r2.u - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_heavy_ties() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let b = [1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p_value.is_finite());
+        assert!(!r.rejects_same_distribution(0.05));
+    }
+
+    #[test]
+    fn textbook_u_statistic() {
+        // a = {1,2}, b = {3,4,5}: every b beats every a → U1 = 0.
+        let r = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(r.u, 0.0);
+    }
+
+    #[test]
+    fn detects_drift_in_split_halves() {
+        // The F5.4 usage: a drifting series split in half.
+        let xs: Vec<f64> = (0..60).map(|i| 100.0 + i as f64 * 0.8).collect();
+        let r = mann_whitney_u(&xs[..30], &xs[30..]);
+        assert!(r.rejects_same_distribution(0.001));
+    }
+}

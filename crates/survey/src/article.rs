@@ -1,0 +1,118 @@
+//! Article records and reporting attributes.
+
+/// Publication venue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Venue {
+    /// USENIX NSDI.
+    Nsdi,
+    /// USENIX OSDI.
+    Osdi,
+    /// ACM SOSP.
+    Sosp,
+    /// ACM/IEEE SC.
+    Sc,
+}
+
+impl Venue {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Venue::Nsdi => "NSDI",
+            Venue::Osdi => "OSDI",
+            Venue::Sosp => "SOSP",
+            Venue::Sc => "SC",
+        }
+    }
+
+    /// All venues in Table 2 order.
+    pub fn all() -> [Venue; 4] {
+        [Venue::Nsdi, Venue::Osdi, Venue::Sosp, Venue::Sc]
+    }
+}
+
+/// How an article reports its cloud experiments — the survey's three
+/// criteria (Section 2): "(i) reporting average or median metrics ...;
+/// (ii) reporting variability ... or confidence ...; (iii) reporting
+/// the number of times an experiment was repeated."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reporting {
+    /// Reports averages or medians over repetitions.
+    pub avg_or_median: bool,
+    /// Reports variability (std dev, percentiles) or confidence.
+    pub variability: bool,
+    /// Number of repetitions, when stated.
+    pub repetitions: Option<u32>,
+}
+
+impl Reporting {
+    /// "Severely under-specified": the paper's criterion is that the
+    /// authors "do not mention how many times they repeated the
+    /// experiments **or even** what numbers they are reporting" —
+    /// missing either the measure or the repetition count qualifies.
+    pub fn poorly_specified(&self) -> bool {
+        !self.avg_or_median || self.repetitions.is_none()
+    }
+
+    /// "Properly specified": states the repetition count (the
+    /// denominator of Figure 1b).
+    pub fn properly_specified(&self) -> bool {
+        self.repetitions.is_some() && self.avg_or_median
+    }
+}
+
+/// One surveyed article.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Article {
+    /// Stable identifier within the corpus.
+    pub id: usize,
+    /// Venue.
+    pub venue: Venue,
+    /// Publication year.
+    pub year: u32,
+    /// Synthetic title.
+    pub title: String,
+    /// Keywords attached to the article (for the automatic filter).
+    pub keywords: Vec<&'static str>,
+    /// Ground truth: does the article run experiments on a public
+    /// cloud? (What the manual review estimates.)
+    pub cloud_experiments: bool,
+    /// Reporting attributes (meaningful only for cloud articles).
+    pub reporting: Reporting,
+    /// Citation count.
+    pub citations: u64,
+}
+
+impl Article {
+    /// Does the automatic keyword filter match?
+    pub fn matches_keywords(&self) -> bool {
+        !self.keywords.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poorly_specified_logic() {
+        let mut r = Reporting::default();
+        assert!(r.poorly_specified());
+        r.avg_or_median = true;
+        assert!(r.poorly_specified()); // still no repetition count
+        r.repetitions = Some(10);
+        assert!(!r.poorly_specified());
+        assert!(r.properly_specified());
+        let r2 = Reporting {
+            avg_or_median: false,
+            variability: false,
+            repetitions: Some(5),
+        };
+        assert!(r2.poorly_specified());
+    }
+
+    #[test]
+    fn venue_names() {
+        assert_eq!(Venue::Nsdi.name(), "NSDI");
+        assert_eq!(Venue::all().len(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic synthetic corpus calibrated to the paper's aggregates.
+//!
+//! The corpus reproduces every number the paper reports about its
+//! survey (Table 2 and Figure 1):
+//!
+//! * 1,867 articles across NSDI/OSDI/SOSP/SC, 2008–2018;
+//! * 138 match the keyword filter;
+//! * 44 of those have cloud experiments, split 15/7/7/15 by venue,
+//!   cited 11,203 times in total;
+//! * of the 44: 24 report averages or medians, 9 of those also report
+//!   variability (37.5%), 17 state a repetition count with the
+//!   distribution {3×6, 5×4, 9×1, 10×1, 15×1, 20×2, 100×2} — so 76%
+//!   of the properly-specified articles use ≤ 15 repetitions;
+//! * 27 articles (61%) are severely under-specified.
+
+use crate::article::{Article, Reporting, Venue};
+use crate::params;
+
+/// Repetition-count distribution of the 17 properly-specified articles.
+pub const REPETITION_COUNTS: [(u32, usize); 7] = [
+    (3, 6),
+    (5, 4),
+    (9, 1),
+    (10, 1),
+    (15, 1),
+    (20, 2),
+    (100, 2),
+];
+
+/// Number of selected articles reporting averages or medians.
+pub const N_AVG_OR_MEDIAN: usize = 24;
+/// Number of selected articles also reporting variability/confidence.
+pub const N_VARIABILITY: usize = 9;
+
+fn venue_of(idx: usize) -> Venue {
+    match idx % 4 {
+        0 => Venue::Nsdi,
+        1 => Venue::Osdi,
+        2 => Venue::Sosp,
+        _ => Venue::Sc,
+    }
+}
+
+/// Deterministic citation counts for the 44 selected articles: a
+/// Zipf-like profile normalized to sum exactly to 11,203.
+fn selected_citations() -> Vec<u64> {
+    let weights: Vec<f64> = (0..params::CLOUD_SELECTED)
+        .map(|i| 1.0 / (i as f64 + 1.0))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut cits: Vec<u64> = weights
+        .iter()
+        .map(|w| (params::SELECTED_CITATIONS as f64 * w / wsum).floor() as u64)
+        .collect();
+    let assigned: u64 = cits.iter().sum();
+    cits[0] += params::SELECTED_CITATIONS - assigned;
+    cits
+}
+
+/// Reporting attributes for selected article `k` (0..44), implementing
+/// the calibration in the module docs.
+fn reporting_of(k: usize) -> Reporting {
+    // First 24 report avg/median; of those, first 9 report variability;
+    // of the 24, the first 17 state repetitions (the rest omit them).
+    let avg_or_median = k < N_AVG_OR_MEDIAN;
+    let variability = k < N_VARIABILITY;
+    let repetitions = if k < 17 {
+        // Expand REPETITION_COUNTS into 17 slots.
+        let mut slot = k;
+        for &(reps, count) in &REPETITION_COUNTS {
+            if slot < count {
+                return Reporting {
+                    avg_or_median,
+                    variability,
+                    repetitions: Some(reps),
+                };
+            }
+            slot -= count;
+        }
+        unreachable!("repetition table covers 17 slots");
+    } else {
+        None
+    };
+    Reporting {
+        avg_or_median,
+        variability,
+        repetitions,
+    }
+}
+
+/// Generate the full synthetic corpus (deterministic, no RNG).
+pub fn generate() -> Vec<Article> {
+    let mut articles = Vec::with_capacity(params::TOTAL_ARTICLES);
+
+    // Venue quota for the 44 selected articles.
+    let mut selected_left: std::collections::HashMap<Venue, usize> = [
+        (Venue::Nsdi, 15usize),
+        (Venue::Osdi, 7),
+        (Venue::Sosp, 7),
+        (Venue::Sc, 15),
+    ]
+    .into_iter()
+    .collect();
+    let citations = selected_citations();
+    let mut selected_so_far = 0usize;
+    let mut matched_so_far = 0usize;
+
+    for id in 0..params::TOTAL_ARTICLES {
+        let year = params::YEAR_FROM + (id as u32 % (params::YEAR_TO - params::YEAR_FROM + 1));
+        // Cycle venues, but steer selected articles to honor quotas.
+        let mut venue = venue_of(id);
+        let matches = matched_so_far < params::KEYWORD_FILTERED
+            && id % (params::TOTAL_ARTICLES / params::KEYWORD_FILTERED) == 0;
+        let mut cloud = false;
+        let mut reporting = Reporting::default();
+        let mut cits = (id as u64 * 37) % 400; // background citations
+        if matches {
+            matched_so_far += 1;
+            // Roughly every third keyword match is a cloud article,
+            // until the 44 are placed.
+            if selected_so_far < params::CLOUD_SELECTED && matched_so_far % 3 == 1 {
+                // Pick the next venue with remaining quota.
+                venue = Venue::all()
+                    .into_iter()
+                    .find(|v| selected_left[v] > 0)
+                    .expect("quota exhausted early");
+                *selected_left.get_mut(&venue).unwrap() -= 1;
+                cloud = true;
+                reporting = reporting_of(selected_so_far);
+                cits = citations[selected_so_far];
+                selected_so_far += 1;
+            }
+        }
+        let keywords: Vec<&'static str> = if matches {
+            vec![params::KEYWORDS[id % params::KEYWORDS.len()]]
+        } else {
+            Vec::new()
+        };
+        let title = if matches {
+            format!("On {} in large-scale systems (study {})", keywords[0], id)
+        } else {
+            format!("Systems article {id}")
+        };
+        articles.push(Article {
+            id,
+            venue,
+            year,
+            title,
+            keywords,
+            cloud_experiments: cloud,
+            reporting,
+            citations: cits,
+        });
+    }
+    assert_eq!(matched_so_far, params::KEYWORD_FILTERED, "keyword quota");
+    assert_eq!(selected_so_far, params::CLOUD_SELECTED, "selection quota");
+    articles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_table2() {
+        let corpus = generate();
+        assert_eq!(corpus.len(), 1_867);
+        assert_eq!(corpus.iter().filter(|a| a.matches_keywords()).count(), 138);
+        let selected: Vec<&Article> = corpus.iter().filter(|a| a.cloud_experiments).collect();
+        assert_eq!(selected.len(), 44);
+        let cits: u64 = selected.iter().map(|a| a.citations).sum();
+        assert_eq!(cits, 11_203);
+    }
+
+    #[test]
+    fn venue_split_matches_table2() {
+        let corpus = generate();
+        for (venue, expected) in [(Venue::Nsdi, 15), (Venue::Osdi, 7), (Venue::Sosp, 7), (Venue::Sc, 15)] {
+            let n = corpus
+                .iter()
+                .filter(|a| a.cloud_experiments && a.venue == venue)
+                .count();
+            assert_eq!(n, expected, "{venue:?}");
+        }
+    }
+
+    #[test]
+    fn reporting_calibration() {
+        let corpus = generate();
+        let sel: Vec<&Article> = corpus.iter().filter(|a| a.cloud_experiments).collect();
+        let avg = sel.iter().filter(|a| a.reporting.avg_or_median).count();
+        let var = sel.iter().filter(|a| a.reporting.variability).count();
+        let poor = sel.iter().filter(|a| a.reporting.poorly_specified()).count();
+        let proper = sel.iter().filter(|a| a.reporting.properly_specified()).count();
+        assert_eq!(avg, 24);
+        assert_eq!(var, 9);
+        assert_eq!(poor, 27); // 61% — "over 60%"
+        assert_eq!(proper, 17);
+        // 37% of avg/median articles report variability.
+        assert!((var as f64 / avg as f64 - 0.375).abs() < 0.01);
+        // 76% of properly-specified use ≤ 15 repetitions.
+        let le15 = sel
+            .iter()
+            .filter(|a| a.reporting.repetitions.is_some_and(|r| r <= 15))
+            .count();
+        assert!((le15 as f64 / proper as f64 - 0.7647).abs() < 0.01);
+    }
+
+    #[test]
+    fn cloud_articles_all_match_keywords() {
+        let corpus = generate();
+        assert!(corpus
+            .iter()
+            .filter(|a| a.cloud_experiments)
+            .all(|a| a.matches_keywords()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(), generate());
+    }
+
+    #[test]
+    fn years_span_table1_range() {
+        let corpus = generate();
+        assert!(corpus.iter().all(|a| (2008..=2018).contains(&a.year)));
+        assert!(corpus.iter().any(|a| a.year == 2008));
+        assert!(corpus.iter().any(|a| a.year == 2018));
+    }
+}

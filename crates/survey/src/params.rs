@@ -1,0 +1,50 @@
+//! Survey parameters — Table 1.
+
+/// Venues surveyed.
+pub const VENUES: [&str; 4] = ["NSDI", "OSDI", "SOSP", "SC"];
+
+/// Keyword list used for the automatic filter.
+pub const KEYWORDS: [&str; 8] = [
+    "big data",
+    "streaming",
+    "Hadoop",
+    "MapReduce",
+    "Spark",
+    "data storage",
+    "graph processing",
+    "data analytics",
+];
+
+/// First publication year covered.
+pub const YEAR_FROM: u32 = 2008;
+/// Last publication year covered.
+pub const YEAR_TO: u32 = 2018;
+
+/// Total articles scanned (Table 2).
+pub const TOTAL_ARTICLES: usize = 1_867;
+/// Articles surviving the keyword filter (Table 2).
+pub const KEYWORD_FILTERED: usize = 138;
+/// Articles with cloud-based experiments after manual review (Table 2).
+pub const CLOUD_SELECTED: usize = 44;
+/// Venue breakdown of the 44 selected articles (Table 2).
+pub const SELECTED_PER_VENUE: [(&str, usize); 4] =
+    [("NSDI", 15), ("OSDI", 7), ("SOSP", 7), ("SC", 15)];
+/// Total citations of the selected articles (Google Scholar, May 2019).
+pub const SELECTED_CITATIONS: u64 = 11_203;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venue_breakdown_sums_to_selection() {
+        let sum: usize = SELECTED_PER_VENUE.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, CLOUD_SELECTED);
+    }
+
+    #[test]
+    fn filter_is_a_chain() {
+        assert!(TOTAL_ARTICLES > KEYWORD_FILTERED);
+        assert!(KEYWORD_FILTERED > CLOUD_SELECTED);
+    }
+}

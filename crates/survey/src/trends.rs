@@ -1,0 +1,132 @@
+//! Breakdowns of the survey by venue and year.
+//!
+//! The paper reports only aggregates over its 2008–2018 window; these
+//! slices answer the natural follow-ups — is reporting quality a
+//! venue-culture issue, and is it improving over time?
+
+use crate::article::Article;
+use crate::article::Venue;
+
+/// Reporting quality within one slice of the selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceQuality {
+    /// Cloud articles in the slice.
+    pub selected: usize,
+    /// Of those, how many are poorly specified.
+    pub poorly_specified: usize,
+    /// Of those, how many report variability.
+    pub reports_variability: usize,
+}
+
+impl SliceQuality {
+    /// Fraction poorly specified (0 when empty).
+    pub fn poor_fraction(&self) -> f64 {
+        if self.selected == 0 {
+            0.0
+        } else {
+            self.poorly_specified as f64 / self.selected as f64
+        }
+    }
+}
+
+fn quality_of<'a>(articles: impl Iterator<Item = &'a Article>) -> SliceQuality {
+    let mut q = SliceQuality {
+        selected: 0,
+        poorly_specified: 0,
+        reports_variability: 0,
+    };
+    for a in articles {
+        q.selected += 1;
+        if a.reporting.poorly_specified() {
+            q.poorly_specified += 1;
+        }
+        if a.reporting.variability {
+            q.reports_variability += 1;
+        }
+    }
+    q
+}
+
+/// Per-venue reporting quality over the selected (cloud) articles.
+pub fn by_venue(corpus: &[Article]) -> Vec<(&'static str, SliceQuality)> {
+    Venue::all()
+        .into_iter()
+        .map(|v| {
+            (
+                v.name(),
+                quality_of(
+                    corpus
+                        .iter()
+                        .filter(|a| a.cloud_experiments && a.venue == v),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Per-year reporting quality over the selected articles, ascending.
+pub fn by_year(corpus: &[Article]) -> Vec<(u32, SliceQuality)> {
+    let mut years: Vec<u32> = corpus
+        .iter()
+        .filter(|a| a.cloud_experiments)
+        .map(|a| a.year)
+        .collect();
+    years.sort_unstable();
+    years.dedup();
+    years
+        .into_iter()
+        .map(|y| {
+            (
+                y,
+                quality_of(
+                    corpus
+                        .iter()
+                        .filter(|a| a.cloud_experiments && a.year == y),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate;
+
+    #[test]
+    fn venue_slices_cover_the_selection() {
+        let corpus = generate();
+        let slices = by_venue(&corpus);
+        assert_eq!(slices.len(), 4);
+        let total: usize = slices.iter().map(|(_, q)| q.selected).sum();
+        assert_eq!(total, 44);
+        let poor: usize = slices.iter().map(|(_, q)| q.poorly_specified).sum();
+        assert_eq!(poor, 27);
+    }
+
+    #[test]
+    fn year_slices_cover_the_selection() {
+        let corpus = generate();
+        let slices = by_year(&corpus);
+        let total: usize = slices.iter().map(|(_, q)| q.selected).sum();
+        assert_eq!(total, 44);
+        assert!(slices.windows(2).all(|w| w[0].0 < w[1].0));
+        for (y, _) in &slices {
+            assert!((2008..=2018).contains(y));
+        }
+    }
+
+    #[test]
+    fn poor_fraction_is_a_fraction() {
+        let corpus = generate();
+        for (_, q) in by_venue(&corpus) {
+            assert!((0.0..=1.0).contains(&q.poor_fraction()));
+        }
+        let empty = SliceQuality {
+            selected: 0,
+            poorly_specified: 0,
+            reports_variability: 0,
+        };
+        assert_eq!(empty.poor_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Identify an unknown cloud's token-bucket parameters from the
+//! outside, the way the paper reverse-engineered EC2 (Figure 11):
+//! stream at full speed until throughput drops and stabilizes, then
+//! read off time-to-empty, high/low rates, and the implied budget.
+//!
+//! ```sh
+//! cargo run --release --example bucket_probe
+//! ```
+
+use cloud_repro::prelude::*;
+use measure::probe_instance_type;
+
+fn main() {
+    println!("== token-bucket probing (the Figure 11 method) ==\n");
+
+    for profile in clouds::ec2::c5_family() {
+        let probes = probe_instance_type(&profile, 15, 4242, 7000.0);
+        if probes.is_empty() {
+            println!("{:<12} no throttling observed", profile.instance_type);
+            continue;
+        }
+        let ttes: Vec<f64> = probes.iter().map(|p| p.time_to_empty_s).collect();
+        let summary = vstats::Summary::from_samples(&ttes);
+        let avg = |f: fn(&measure::BucketEstimate) -> f64| {
+            probes.iter().map(f).sum::<f64>() / probes.len() as f64
+        };
+        println!(
+            "{:<12} {} probes: time-to-empty {:>5.0} s (p1 {:>5.0}, p99 {:>5.0}) \
+             high {:>5.2} Gbps, low {:>4.2} Gbps, budget ~{:>6.0} Gbit",
+            profile.instance_type,
+            probes.len(),
+            summary.median(),
+            summary.box_summary.p1,
+            summary.box_summary.p99,
+            avg(|p| p.high_bps) / 1e9,
+            avg(|p| p.low_bps) / 1e9,
+            avg(|p| p.budget_bits) / 1e9,
+        );
+    }
+
+    // Clouds without buckets come back empty-handed.
+    let gce = clouds::gce::n_core(8);
+    let probes = probe_instance_type(&gce, 3, 1, 1800.0);
+    println!(
+        "\nGoogle {}: {} probes found a bandwidth drop (per-core QoS has no bucket)",
+        gce.instance_type,
+        probes.len()
+    );
+}

@@ -1,0 +1,63 @@
+//! Performance fingerprinting (finding F5.2): capture a baseline of a
+//! cloud's network behaviour, publish it next to your results, and
+//! verify it before every new experiment batch. Demonstrated on the
+//! paper's own motivating incident — the August 2019 c5.xlarge NIC cap.
+//!
+//! ```sh
+//! cargo run --release --example fingerprint
+//! ```
+
+use cloud_repro::prelude::*;
+use clouds::Era;
+use measure::Fingerprint;
+use netsim::pattern::TrafficPattern;
+use netsim::tcp::{StreamConfig, StreamSim};
+
+fn main() {
+    println!("== performance fingerprints (F5.2) ==\n");
+
+    let profile = clouds::ec2::c5_xlarge();
+
+    // Spring 2019: capture and "publish" the baseline.
+    let baseline = Fingerprint::capture(&profile, 2019, true);
+    println!("baseline fingerprint ({} {}):", baseline.provider, baseline.instance_type);
+    println!("  base bandwidth : {:>6.2} Gbps", baseline.base_bandwidth_gbps);
+    println!("  base RTT       : {:>6.3} ms", baseline.base_rtt_ms);
+    println!("  loaded RTT     : {:>6.3} ms", baseline.loaded_rtt_ms);
+    if let Some(b) = baseline.token_bucket {
+        println!(
+            "  token bucket   : empties in {:>4.0} s, {:.1} -> {:.1} Gbps",
+            b.time_to_empty_s, b.high_gbps, b.low_gbps
+        );
+    }
+
+    // August 2019: new allocations sometimes arrive capped at 5 Gbps.
+    println!("\nallocating fresh VMs in the post-August-2019 era...");
+    let mut flagged = 0;
+    for seed in 0..6u64 {
+        let mut vm = profile.instantiate_in_era(seed, Era::PostAug2019);
+        let cfg = StreamConfig::new(30.0, TrafficPattern::FullSpeed);
+        let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
+        let mut current = baseline.clone();
+        current.base_bandwidth_gbps = res.bandwidth.mean_bandwidth() / 1e9;
+        let drift = current.drift(&baseline, 0.15);
+        if drift.is_empty() {
+            println!("  VM {seed}: {:>5.2} Gbps — baseline matches, safe to proceed", current.base_bandwidth_gbps);
+        } else {
+            flagged += 1;
+            for d in &drift {
+                println!(
+                    "  VM {seed}: {:>5.2} Gbps — DRIFT in {} ({:+.0}%): do NOT compare against old results",
+                    current.base_bandwidth_gbps,
+                    d.metric,
+                    (d.current / d.baseline - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    println!(
+        "\n{} of 6 fresh VMs failed the baseline check — without fingerprints these \
+         runs would silently contaminate the result series.",
+        flagged
+    );
+}

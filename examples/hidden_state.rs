@@ -1,0 +1,84 @@
+//! Hidden infrastructure state, three ways (the extensions tour):
+//!
+//! 1. a TCP flow riding a token bucket — the policy cliff reads as
+//!    persistent congestion (`netsim::congestion`);
+//! 2. CPU credits on burstable instances — the *compute* analogue of
+//!    the network bucket (`netsim::cpu`);
+//! 3. a provider policy change mid-campaign, caught by the protocol
+//!    runner's fingerprint gate (`clouds::timeline`,
+//!    `repro_core::protocol`).
+//!
+//! ```sh
+//! cargo run --release --example hidden_state
+//! ```
+
+use cloud_repro::prelude::*;
+use netsim::congestion::{run_reno, RenoConfig};
+use netsim::cpu::CpuCredits;
+use netsim::nic::{NicConfig, NicModel};
+use netsim::shaper::TokenBucket;
+use netsim::units::{gbit, gbps};
+use repro_core::{run_protocol, ProtocolConfig, ProtocolOutcome};
+
+fn main() {
+    // --- 1. TCP vs the token bucket ------------------------------------
+    println!("== 1. a Reno flow meets the token-bucket cliff ==");
+    let mut bucket = TokenBucket::sigma_rho(gbit(50.0), gbps(1.0), gbps(10.0));
+    let mut nic = NicModel::new(NicConfig::ec2_ena(gbps(10.0)), 1);
+    let res = run_reno(&mut bucket, &mut nic, &RenoConfig::default(), 90.0);
+    let peak = res.rounds.iter().map(|r| r.goodput_bps).fold(0.0, f64::max);
+    println!(
+        "  50 Gbit budget, 90 s flow: peak {:.1} Gbps, mean {:.2} Gbps, {} loss events",
+        peak / 1e9,
+        res.mean_goodput_bps() / 1e9,
+        res.loss_events
+    );
+    println!("  -> the policy cliff looks exactly like congestion to the sender\n");
+
+    // --- 2. CPU credits -------------------------------------------------
+    println!("== 2. CPU credits: the compute-side token bucket ==");
+    let credits: Vec<CpuCredits> = (0..4).map(|_| CpuCredits::new(2, 0.3, 120.0, 576.0)).collect();
+    let mut burstable = bigdata::Cluster::ec2_emulated(4, 8, 5000.0).with_cpu_credits(credits);
+    let job = bigdata::JobSpec::new(
+        "cpu-batch",
+        vec![bigdata::StageSpec::new("train", 32, 1500.0, 0.0)],
+    );
+    let mut walls = Vec::new();
+    for rep in 0..4 {
+        // Back-to-back runs, credits carried over.
+        walls.push(bigdata::run_job(&mut burstable, &job, rep).duration_s.round());
+    }
+    println!("  back-to-back runtimes on t3-style nodes: {walls:?} s");
+    println!("  -> later repetitions throttle to the 30% baseline: same pathology,");
+    println!("     different resource (the paper's closing warning in Section 4.2)\n");
+
+    // --- 3. policy change caught by the protocol gate --------------------
+    println!("== 3. the Aug-2019 policy change vs the protocol runner ==");
+    let timeline = clouds::PolicyTimeline::c5_xlarge_2018_2019();
+    let baseline = measure::Fingerprint::capture(&timeline.profile, 10, false);
+    // Months later: find an allocation day/seed that drew the 5 Gbps cap.
+    let capped_seed = (0..50)
+        .find(|&s| (timeline.allocate(320, s).line_rate_bps - 5e9).abs() < 1.0)
+        .expect("some allocation draws the cap");
+    let mut drifted = baseline.clone();
+    drifted.base_bandwidth_gbps = timeline.allocate(320, capped_seed).line_rate_bps / 1e9;
+    let outcome = run_protocol(
+        &ProtocolConfig::default(),
+        Some(&baseline),
+        &drifted,
+        |_rep, _seed| unreachable!("protocol must abort before measuring"),
+    );
+    match outcome.outcome {
+        ProtocolOutcome::EnvironmentDrift(findings) => {
+            for f in findings {
+                println!(
+                    "  drift gate: {} moved {:.0}% — experiment aborted before spending budget",
+                    f.metric,
+                    f.relative_change * 100.0
+                );
+            }
+        }
+        other => println!("  unexpected outcome {other:?}"),
+    }
+    println!("  -> F5.2/F5.5 in action: verify baselines before every batch");
+}

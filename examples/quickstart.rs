@@ -1,0 +1,67 @@
+//! Quickstart: measure a simulated cloud the way the paper says you
+//! should — repetitions, medians, nonparametric CIs, variability, and
+//! the iid-assumption battery.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloud_repro::prelude::*;
+use netsim::units::{as_gbps, hours};
+use netsim::TrafficPattern;
+
+fn main() {
+    println!("== cloud-repro quickstart ==\n");
+
+    // 1. Pick a cloud profile: Amazon EC2 c5.xlarge, the paper's
+    //    flagship instance with its token-bucket network QoS.
+    let profile = clouds::ec2::c5_xlarge();
+    println!(
+        "cloud: {} {}  (advertised {} Gbps, ${}/h)",
+        profile.provider.name(),
+        profile.instance_type,
+        profile.advertised_gbps.unwrap(),
+        profile.price_per_hour_usd.unwrap()
+    );
+
+    // 2. Run a one-hour bandwidth campaign under each access pattern.
+    for pattern in TrafficPattern::ALL {
+        let res = measure::run_campaign(&profile, pattern, hours(1.0), 7);
+        println!(
+            "  {:<11} mean {:>5.2} Gbps  CoV {:>4.1}%  retrans {:>4}  variable: {}",
+            res.pattern,
+            as_gbps(res.mean_bandwidth_bps()),
+            res.summary.cov * 100.0,
+            res.total_retransmissions,
+            res.exhibits_variability()
+        );
+    }
+
+    // 3. Measure an application 30 times on fresh VMs and report it
+    //    properly: median + CI + variability + assumption checks.
+    println!("\nrunning TPC-DS Q65 thirty times on an emulated 12-node cluster...");
+    let samples: Vec<f64> = (0..30)
+        .map(|rep| {
+            let mut cluster = bigdata::Cluster::ec2_emulated(12, 16, 5000.0);
+            bigdata::run_job(
+                &mut cluster,
+                &bigdata::workloads::tpcds::query(65),
+                netsim::rng::derive_seed(99, rep),
+            )
+            .duration_s
+        })
+        .collect();
+    let report = MeasurementReport::new("tpcds-q65 runtime [s]", &samples);
+    print!("{}", report.render());
+    println!(
+        "publishable at a 5% error bound: {}",
+        report.publishable(0.05)
+    );
+
+    // 4. Ask the planner how many repetitions a 1% bound would need.
+    let rec = recommend_repetitions(&samples, 0.5, 0.95, 0.01);
+    match rec.recommended {
+        Some(n) => println!("repetitions recommended for a 1% bound: {n}"),
+        None => println!("pilot too small to extrapolate a recommendation"),
+    }
+}

@@ -1,0 +1,261 @@
+//! `cloud-repro` — command-line front end for the simulator and the
+//! experiment-design toolkit.
+//!
+//! ```text
+//! cloud-repro list
+//! cloud-repro campaign  --cloud ec2-c5.xlarge --pattern 5-30 --hours 2
+//! cloud-repro probe     --cloud ec2-c5.2xlarge --probes 15
+//! cloud-repro fingerprint --cloud ec2-c5.xlarge --bucket
+//! cloud-repro run       --cloud gce-8 --workload q65 --reps 10
+//! cloud-repro plan      --cloud hpc-8 --workload terasort --pilot 30 --target 0.05
+//! cloud-repro survey
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set minimal.
+
+use cloud_repro::cli::{
+    cloud_by_name, get_f64, get_u64, parse_flags, pattern_by_name, workload_by_name,
+};
+use cloud_repro::prelude::*;
+use netsim::units::hours;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn cmd_list() {
+    println!("clouds:");
+    println!("  ec2-c5.large ec2-c5.xlarge ec2-c5.2xlarge ec2-c5.4xlarge");
+    println!("  ec2-c5.9xlarge ec2-m5.xlarge ec2-m4.16xlarge");
+    println!("  gce-1 gce-2 gce-4 gce-8");
+    println!("  hpc-2 hpc-4 hpc-8");
+    println!("workloads:");
+    println!("  terasort wordcount sort bayes kmeans");
+    print!("  TPC-DS:");
+    for q in bigdata::workloads::tpcds::QUERIES {
+        print!(" q{q}");
+    }
+    println!();
+    println!("patterns: full-speed 10-30 5-30");
+}
+
+fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
+    let h = get_f64(flags, "hours", 1.0)?;
+    let seed = get_u64(flags, "seed", 1)?;
+    let res = measure::run_campaign(&cloud, pattern, hours(h), seed);
+    println!(
+        "campaign: {} {} / {} for {h} h (seed {seed})",
+        res.provider, res.instance_type, res.pattern
+    );
+    let report = MeasurementReport::new("bandwidth [bps]", &res.trace.bandwidths());
+    print!("{}", report.render());
+    println!(
+        "total: {:.2} TB moved, {} retransmissions, variability: {}",
+        res.total_bits / 8e12,
+        res.total_retransmissions,
+        res.exhibits_variability()
+    );
+    if let Some(cost) = res.cost_usd {
+        println!("cost of the pair: ${cost:.2}");
+    }
+    Ok(())
+}
+
+fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let n = get_u64(flags, "probes", 15)? as usize;
+    let seed = get_u64(flags, "seed", 1)?;
+    let max_s = get_f64(flags, "max-seconds", 7000.0)?;
+    let probes = measure::probe_instance_type(&cloud, n, seed, max_s);
+    if probes.is_empty() {
+        println!(
+            "{} {}: no token-bucket throttling observed within {max_s} s",
+            cloud.provider.name(),
+            cloud.instance_type
+        );
+        return Ok(());
+    }
+    println!(
+        "{} {}: {} of {n} probes saw the drop",
+        cloud.provider.name(),
+        cloud.instance_type,
+        probes.len()
+    );
+    for (i, p) in probes.iter().enumerate() {
+        println!(
+            "  probe {i:>2}: time-to-empty {:>6.0} s, {:.2} -> {:.2} Gbps, budget ~{:>6.0} Gbit",
+            p.time_to_empty_s,
+            p.high_bps / 1e9,
+            p.low_bps / 1e9,
+            p.budget_bits / 1e9
+        );
+    }
+    let planner = measure::RestPlanner::from_probe(&probes[0]);
+    println!(
+        "rest planning: full refill takes {:.0} min at the probed refill rate",
+        planner.full_refill_s() / 60.0
+    );
+    Ok(())
+}
+
+fn cmd_fingerprint(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let seed = get_u64(flags, "seed", 1)?;
+    let with_bucket = flags.contains_key("bucket");
+    let fp = measure::Fingerprint::capture(&cloud, seed, with_bucket);
+    println!("fingerprint of {} {}:", fp.provider, fp.instance_type);
+    println!("  base bandwidth : {:.2} Gbps", fp.base_bandwidth_gbps);
+    println!("  base RTT       : {:.3} ms", fp.base_rtt_ms);
+    println!("  loaded RTT     : {:.3} ms", fp.loaded_rtt_ms);
+    match fp.token_bucket {
+        Some(b) => println!(
+            "  token bucket   : empties in {:.0} s, {:.1} -> {:.1} Gbps",
+            b.time_to_empty_s, b.high_gbps, b.low_gbps
+        ),
+        None => println!(
+            "  token bucket   : {}",
+            if with_bucket { "none detected" } else { "not probed (--bucket to enable)" }
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let job = workload_by_name(flags.get("workload").ok_or("--workload required")?)?;
+    let reps = get_u64(flags, "reps", 10)? as usize;
+    let nodes = get_u64(flags, "nodes", 12)? as usize;
+    let seed = get_u64(flags, "seed", 1)?;
+    println!(
+        "running {} x{reps} on {nodes}x {} {} (fresh VMs per run)",
+        job.name,
+        cloud.provider.name(),
+        cloud.instance_type
+    );
+    let samples: Vec<f64> = (0..reps)
+        .map(|rep| {
+            let s = netsim::rng::derive_seed(seed, rep as u64);
+            let mut cluster = bigdata::Cluster::from_profile(&cloud, nodes, 16, s);
+            bigdata::run_job(&mut cluster, &job, s).duration_s
+        })
+        .collect();
+    let report = MeasurementReport::new(&format!("{} runtime [s]", job.name), &samples);
+    print!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let job = workload_by_name(flags.get("workload").ok_or("--workload required")?)?;
+    let pilot = get_u64(flags, "pilot", 20)? as usize;
+    let target = get_f64(flags, "target", 0.05)?;
+    let seed = get_u64(flags, "seed", 1)?;
+    println!(
+        "pilot: {} x{pilot} on {} {}",
+        job.name,
+        cloud.provider.name(),
+        cloud.instance_type
+    );
+    let samples: Vec<f64> = (0..pilot)
+        .map(|rep| {
+            let s = netsim::rng::derive_seed(seed, rep as u64);
+            let mut cluster = bigdata::Cluster::from_profile(&cloud, 12, 16, s);
+            bigdata::run_job(&mut cluster, &job, s).duration_s
+        })
+        .collect();
+    let rec = recommend_repetitions(&samples, 0.5, 0.95, target);
+    println!(
+        "pilot median {:.1} s; CI error {}",
+        vstats::median(&samples),
+        rec.pilot_error
+            .map(|e| format!("{:.1}%", e * 100.0))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    match rec.recommended {
+        Some(n) => println!(
+            "-> run at least {n} repetitions for a ±{:.0}% median CI (hard floor {})",
+            target * 100.0,
+            rec.minimum_for_ci
+        ),
+        None => println!("-> pilot too small; gather more than {} runs", rec.minimum_for_ci),
+    }
+    Ok(())
+}
+
+fn cmd_survey() {
+    let res = survey::run_survey(&survey::generate());
+    println!(
+        "survey: {} articles -> {} keyword matches -> {} cloud papers ({} citations)",
+        res.total, res.keyword_filtered, res.cloud_selected, res.citations
+    );
+    println!(
+        "reporting: avg/median {:.1}%, variability {:.1}%, poorly specified {:.1}%",
+        res.fig1a.pct_avg_or_median, res.fig1a.pct_variability, res.fig1a.pct_poorly_specified
+    );
+    print!("repetitions histogram:");
+    for (r, c) in &res.fig1b {
+        print!(" {r}x{c}");
+    }
+    println!();
+    println!(
+        "kappa: avg/median {:.2}, variability {:.2}, poor-spec {:.2}",
+        res.kappa_avg_median, res.kappa_variability, res.kappa_poor_spec
+    );
+}
+
+fn usage() {
+    println!("cloud-repro — NSDI'20 cloud-variability reproduction toolkit");
+    println!();
+    println!("subcommands:");
+    println!("  list                               clouds, workloads, patterns");
+    println!("  campaign --cloud C [--pattern P] [--hours H] [--seed S]");
+    println!("  probe --cloud C [--probes N] [--max-seconds T]");
+    println!("  fingerprint --cloud C [--bucket]");
+    println!("  run --cloud C --workload W [--reps N] [--nodes N]");
+    println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
+    println!("  survey");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "campaign" => cmd_campaign(&flags),
+        "probe" => cmd_probe(&flags),
+        "fingerprint" => cmd_fingerprint(&flags),
+        "run" => cmd_run(&flags),
+        "plan" => cmd_plan(&flags),
+        "survey" => {
+            cmd_survey();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}

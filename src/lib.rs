@@ -1,0 +1,42 @@
+#![deny(missing_docs)]
+
+//! # cloud-repro
+//!
+//! Umbrella crate for the reproduction of *"Is Big Data Performance
+//! Reproducible in Modern Cloud Networks?"* (Uta et al., NSDI 2020).
+//!
+//! Everything lives in [`repro_core`] and the substrate crates it
+//! re-exports; this crate hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`). See the repository
+//! README for a map.
+//!
+//! ```
+//! use cloud_repro::prelude::*;
+//!
+//! let profile = clouds::ec2::c5_xlarge();
+//! let campaign = measure::run_campaign(
+//!     &profile,
+//!     netsim::TrafficPattern::FullSpeed,
+//!     3600.0,
+//!     42,
+//! );
+//! assert!(campaign.exhibits_variability());
+//! ```
+
+pub use repro_core;
+
+pub mod cli;
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use repro_core::bigdata;
+    pub use repro_core::clouds;
+    pub use repro_core::measure;
+    pub use repro_core::netsim;
+    pub use repro_core::survey;
+    pub use repro_core::vstats;
+    pub use repro_core::{
+        audit, recommend_repetitions, ExperimentDesign, Finding, MeasurementReport,
+        Recommendation, Violation,
+    };
+}
