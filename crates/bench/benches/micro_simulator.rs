@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks of the simulator kernels, doubling as
-//! ablations for the design choices called out in DESIGN.md (fluid step
-//! size, max-min solver cost, shaper stepping overhead).
+//! Micro-benchmarks of the simulator kernels, doubling as ablations for
+//! the design choices called out in DESIGN.md (fluid step size, max-min
+//! solver cost, shaper stepping overhead). Timed with the in-house
+//! harness (`bench::timer`) under the hermetic-build policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::banner;
+use bench::timer::{bench, bench_with_setup};
 use repro_core::bigdata::engine::{run_job_cfg, EngineConfig};
 use repro_core::bigdata::workloads::tpcds;
 use repro_core::bigdata::Cluster;
@@ -11,71 +13,61 @@ use repro_core::netsim::shaper::{Shaper, StaticShaper, TokenBucket};
 use repro_core::netsim::units::{gbit, gbps};
 use std::hint::black_box;
 
-fn bench_token_bucket(c: &mut Criterion) {
-    c.bench_function("token_bucket_step", |b| {
-        let mut tb = TokenBucket::sigma_rho(gbit(5000.0), gbps(1.0), gbps(10.0));
-        let mut t = 0.0;
-        b.iter(|| {
-            t += 0.1;
-            black_box(tb.transmit(t, 0.1, f64::INFINITY))
-        });
+fn bench_token_bucket() {
+    let mut tb = TokenBucket::sigma_rho(gbit(5000.0), gbps(1.0), gbps(10.0));
+    let mut t = 0.0;
+    bench("token_bucket_step", || {
+        t += 0.1;
+        black_box(tb.transmit(t, 0.1, f64::INFINITY));
     });
 }
 
-fn bench_maxmin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxmin_fair_step");
+fn bench_maxmin() {
     for &nodes in &[4usize, 12, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
-            b.iter_batched(
-                || {
-                    let mut f = Fabric::new();
-                    for _ in 0..n {
-                        f.add_node(StaticShaper::new(gbps(10.0)), gbps(10.0));
-                    }
-                    for src in 0..n {
-                        for dst in 0..n {
-                            if src != dst {
-                                f.start_flow(FlowSpec::new(src, dst, gbit(100.0)));
-                            }
+        bench_with_setup(
+            &format!("maxmin_fair_step/{nodes}"),
+            || {
+                let mut f = Fabric::new();
+                for _ in 0..nodes {
+                    f.add_node(StaticShaper::new(gbps(10.0)), gbps(10.0));
+                }
+                for src in 0..nodes {
+                    for dst in 0..nodes {
+                        if src != dst {
+                            f.start_flow(FlowSpec::new(src, dst, gbit(100.0)));
                         }
                     }
-                    f
-                },
-                |mut f| black_box(f.step(0.1)),
-                criterion::BatchSize::SmallInput,
-            );
-        });
+                }
+                f
+            },
+            |mut f| {
+                black_box(f.step(0.1));
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_engine_step_size_ablation(c: &mut Criterion) {
+fn bench_engine_step_size_ablation() {
     // Ablation: engine fluid-step size vs wall time. Coarser steps are
     // cheaper; the test suite verifies they do not change bucket
     // dynamics (throttled throughput is step-size invariant).
-    let mut group = c.benchmark_group("tpcds_q65_step_ablation");
-    group.sample_size(10);
     for &step in &[0.25f64, 0.5, 1.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &s| {
-            let cfg = EngineConfig {
-                shuffle_step_s: s,
-                compute_step_s: 2.0,
-                trace_interval_s: 10.0,
-                compute_jitter_sigma: 0.0,
-            };
-            b.iter(|| {
-                let mut cluster = Cluster::ec2_emulated(12, 16, 1000.0);
-                black_box(run_job_cfg(&mut cluster, &tpcds::query(65), 1, &cfg).duration_s)
-            });
+        let cfg = EngineConfig {
+            shuffle_step_s: step,
+            compute_step_s: 2.0,
+            trace_interval_s: 10.0,
+            compute_jitter_sigma: 0.0,
+        };
+        bench(&format!("tpcds_q65_step_ablation/{step}"), || {
+            let mut cluster = Cluster::ec2_emulated(12, 16, 1000.0);
+            black_box(run_job_cfg(&mut cluster, &tpcds::query(65), 1, &cfg).duration_s);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_token_bucket,
-    bench_maxmin,
-    bench_engine_step_size_ablation
-);
-criterion_main!(benches);
+fn main() {
+    banner("micro_simulator", "Simulator-kernel micro-benchmarks");
+    bench_token_bucket();
+    bench_maxmin();
+    bench_engine_step_size_ablation();
+}

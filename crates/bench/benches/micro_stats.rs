@@ -1,7 +1,9 @@
-//! Criterion micro-benchmarks of the statistics kernels used by every
-//! figure: quantile CIs, CONFIRM curves, the assumption battery.
+//! Micro-benchmarks of the statistics kernels used by every figure:
+//! quantile CIs, CONFIRM curves, the assumption battery. Timed with the
+//! in-house harness (`bench::timer`) under the hermetic-build policy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::banner;
+use bench::timer::bench;
 use repro_core::vstats::ci::quantile_ci;
 use repro_core::vstats::confirm::confirm_curve;
 use repro_core::vstats::htest::shapiro::shapiro_wilk;
@@ -13,32 +15,34 @@ fn samples(n: usize) -> Vec<f64> {
         .collect()
 }
 
-fn bench_quantile_ci(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quantile_ci");
+fn bench_quantile_ci() {
     for &n in &[50usize, 500, 5000] {
         let xs = samples(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
-            b.iter(|| black_box(quantile_ci(xs, 0.5, 0.95)));
+        bench(&format!("quantile_ci/{n}"), || {
+            black_box(quantile_ci(&xs, 0.5, 0.95));
         });
     }
-    group.finish();
 }
 
-fn bench_confirm(c: &mut Criterion) {
+fn bench_confirm() {
     let xs = samples(100);
-    c.bench_function("confirm_curve_100", |b| {
-        b.iter(|| black_box(confirm_curve(&xs, 0.5, 0.95)));
+    bench("confirm_curve_100", || {
+        black_box(confirm_curve(&xs, 0.5, 0.95));
     });
 }
 
-fn bench_shapiro(c: &mut Criterion) {
+fn bench_shapiro() {
     let xs: Vec<f64> = (0..200)
         .map(|i| (i as f64 * 0.7).sin() + ((i * 31) % 17) as f64 * 0.1)
         .collect();
-    c.bench_function("shapiro_wilk_200", |b| {
-        b.iter(|| black_box(shapiro_wilk(&xs)));
+    bench("shapiro_wilk_200", || {
+        black_box(shapiro_wilk(&xs));
     });
 }
 
-criterion_group!(benches, bench_quantile_ci, bench_confirm, bench_shapiro);
-criterion_main!(benches);
+fn main() {
+    banner("micro_stats", "Statistics-kernel micro-benchmarks");
+    bench_quantile_ci();
+    bench_confirm();
+    bench_shapiro();
+}

@@ -7,6 +7,8 @@
 //! behind it on the simulated substrate and prints the same rows or
 //! series the paper reports. These helpers keep the output uniform.
 
+pub mod timer;
+
 use repro_core::vstats::describe::BoxSummary;
 
 /// Print a figure/table banner.

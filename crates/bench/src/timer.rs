@@ -1,0 +1,164 @@
+//! Minimal timing harness replacing the Criterion micro-benchmarks.
+//!
+//! Hermetic-build policy: no registry dependencies, so micro-benchmarks
+//! run on a small std-only timer. It auto-calibrates the iteration
+//! count to a target batch duration, runs several batches, and reports
+//! the median/minimum nanoseconds per iteration. This is deliberately
+//! simpler than Criterion — no outlier rejection or regression tracking
+//! — but it is deterministic in structure, offline, and more than
+//! enough to compare kernels release-to-release.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timing summary for one benchmark routine.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Median over batches, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Iterations per batch after calibration.
+    pub iters_per_batch: u64,
+    /// Number of measured batches.
+    pub batches: usize,
+}
+
+impl Timing {
+    /// Render as a human-friendly rate line.
+    pub fn render(&self) -> String {
+        format!(
+            "median {:>12} min {:>12}  ({} iters x {} batches)",
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            self.iters_per_batch,
+            self.batches
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{:.3} ms", ns / 1e6)
+    }
+}
+
+/// Target wall time for one measured batch.
+const BATCH_TARGET_NS: f64 = 25e6;
+/// Measured batches per benchmark.
+const BATCHES: usize = 9;
+
+/// Calibrate the per-batch iteration count so a batch lasts roughly
+/// [`BATCH_TARGET_NS`].
+fn calibrate(routine: &mut dyn FnMut()) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if elapsed >= BATCH_TARGET_NS / 4.0 || iters >= 1 << 30 {
+            let scale = BATCH_TARGET_NS / elapsed.max(1.0);
+            return ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 30);
+        }
+        iters *= 4;
+    }
+}
+
+/// Time `routine`, printing a labelled report line; returns the timing
+/// for callers that want to assert on it.
+pub fn bench(name: &str, mut routine: impl FnMut()) -> Timing {
+    // Warm-up: touch caches and lazy state once before calibration.
+    routine();
+    let iters = calibrate(&mut routine);
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+    let timing = Timing {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        iters_per_batch: iters,
+        batches: BATCHES,
+    };
+    println!("  {name:<28} {}", timing.render());
+    timing
+}
+
+/// Time `routine` against fresh state from `setup` each iteration
+/// (Criterion's `iter_batched`): setup cost is excluded by running the
+/// setup for all iterations up front.
+pub fn bench_with_setup<S>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S),
+) -> Timing {
+    routine(setup());
+    let mut probe = || routine(black_box(setup()));
+    let iters = calibrate(&mut probe).min(4_096);
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                routine(black_box(input));
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+    let timing = Timing {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        iters_per_batch: iters,
+        batches: BATCHES,
+    };
+    println!("  {name:<28} {}", timing.render());
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let mut acc = 0u64;
+        let t = bench("noop-ish", || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(t.median_ns > 0.0);
+        assert!(t.min_ns <= t.median_ns);
+        assert!(t.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn bench_with_setup_excludes_setup_cost() {
+        let t = bench_with_setup(
+            "consume-vec",
+            || vec![1u8; 64],
+            |v| {
+                black_box(v.len());
+            },
+        );
+        assert!(t.median_ns > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("us"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

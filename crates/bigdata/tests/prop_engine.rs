@@ -2,10 +2,10 @@
 
 use bigdata::engine::{run_job_cfg, EngineConfig};
 use bigdata::{Cluster, JobSpec, StageSpec};
-use proptest::prelude::*;
+use proplite::prelude::*;
 
 fn job_strategy() -> impl Strategy<Value = JobSpec> {
-    prop::collection::vec(
+    vec_of(
         (1usize..64, 0.5f64..20.0, 0.0f64..100e9),
         1..5,
     )
@@ -23,8 +23,8 @@ fn job_strategy() -> impl Strategy<Value = JobSpec> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+prop_cases! {
+    #![config(Config::with_cases(40))]
 
     /// The job always terminates, lasts at least its compute lower
     /// bound, and reports one result per stage.

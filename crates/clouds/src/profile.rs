@@ -6,7 +6,7 @@ use netsim::shaper::{NoiseConfig, NoiseShaper, PerCoreQos, PerCoreQosConfig, Sha
 use netsim::units::{gbit, gbps};
 
 /// Cloud provider identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provider {
     /// Amazon EC2 (us-east), token-bucket QoS.
     AmazonEc2,

@@ -2,7 +2,7 @@
 
 use clouds::{ballani, ec2, gce, hpccloud, Era};
 use netsim::shaper::Shaper;
-use proptest::prelude::*;
+use proplite::prelude::*;
 
 fn all_profiles() -> Vec<clouds::CloudProfile> {
     let mut v = ec2::all();
@@ -11,8 +11,8 @@ fn all_profiles() -> Vec<clouds::CloudProfile> {
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop_cases! {
+    #![config(Config::with_cases(48))]
 
     /// Every profile instantiates into a working VM for any seed: a
     /// positive line rate, a shaper that grants sane volumes, and a

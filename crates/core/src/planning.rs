@@ -65,12 +65,12 @@ pub fn recommend_repetitions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn noisy(n: usize, cv: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
         (0..n)
-            .map(|_| 100.0 * (1.0 + cv * (rng.gen::<f64>() - 0.5)))
+            .map(|_| 100.0 * (1.0 + cv * (rng.uniform() - 0.5)))
             .collect()
     }
 

@@ -105,16 +105,16 @@ impl MeasurementReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn noisy(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| 100.0 + 4.0 * (rng.gen::<f64>() - 0.5)).collect()
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| 100.0 + 4.0 * (rng.uniform() - 0.5)).collect()
     }
 
     #[test]
     fn healthy_sample_is_publishable() {
-        let r = MeasurementReport::new("bench", &noisy(60, 11));
+        let r = MeasurementReport::new("bench", &noisy(60, 12));
         assert!(r.median_ci.is_some());
         assert!(r.assumptions.is_some());
         assert!(r.publishable(0.05), "{}", r.render());

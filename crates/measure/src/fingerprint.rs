@@ -18,10 +18,8 @@ use crate::probe::probe_token_bucket;
 use clouds::CloudProfile;
 use netsim::pattern::TrafficPattern;
 use netsim::tcp::{StreamConfig, StreamSim};
-use serde::{Deserialize, Serialize};
-
 /// Token-bucket portion of a fingerprint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BucketFingerprint {
     /// Observed time-to-empty at full speed, seconds.
     pub time_to_empty_s: f64,
@@ -32,7 +30,7 @@ pub struct BucketFingerprint {
 }
 
 /// A network-behaviour baseline for one cloud + instance type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fingerprint {
     /// Provider name.
     pub provider: String,

@@ -177,11 +177,14 @@ mod tests {
 
     #[test]
     fn ec2_capture_sees_the_throttle_transition() {
-        // Small preset budget so the drop happens inside the capture.
         let mut vm = clouds::ec2::c5_xlarge().instantiate(2);
-        // Drain most of the budget first: 500 s of full speed.
+        // Drain at full speed until ~40 s of budget remains, computed
+        // from the incarnation's actual bucket (10 Gbps burst, 1 Gbps
+        // refill) so the throttle lands inside the capture window for
+        // any seed.
+        let drain_s = vm.budget_bits / (10e9 - 1e9) - 40.0;
         let mut t = 0.0;
-        while t < 520.0 {
+        while t < drain_s {
             vm.shaper.transmit(t, 0.5, f64::INFINITY);
             t += 0.5;
         }

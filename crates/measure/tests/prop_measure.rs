@@ -2,10 +2,10 @@
 
 use measure::{probe_token_bucket, run_campaign, RestPlanner};
 use netsim::TrafficPattern;
-use proptest::prelude::*;
+use proplite::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop_cases! {
+    #![config(Config::with_cases(24))]
 
     /// Campaigns over any profile/pattern/seed produce internally
     /// consistent traces: positive bits, bounded bandwidth, ordered

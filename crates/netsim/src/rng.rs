@@ -1,17 +1,23 @@
 //! Deterministic randomness for the simulator.
 //!
 //! Every stochastic component takes an explicit seed; nothing reads the
-//! OS entropy pool or the wall clock. [`SimRng`] wraps a counter-seeded
-//! `StdRng` and adds the distribution samplers the cloud models need
-//! (normal, lognormal, Pareto, AR(1) processes) so the crate does not
-//! depend on `rand_distr`.
+//! OS entropy pool or the wall clock. [`SimRng`] wraps an in-house
+//! xoshiro256++ generator (seeded through SplitMix64) and adds the
+//! distribution samplers the cloud models need (normal, lognormal,
+//! Pareto, AR(1) processes). The whole stochastic substrate is std-only:
+//! no `rand`, no `rand_distr`, no registry access — part of the
+//! hermetic-build policy (see DESIGN.md), because a reproduction of a
+//! reproducibility paper whose own build is irreproducible would be
+//! self-defeating.
 //!
 //! Seeds are derived with SplitMix64 so that component seeds produced
 //! from a common experiment seed are statistically independent even when
 //! the experiment seeds themselves are sequential (0, 1, 2, ...).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator streams are pinned by golden-vector tests
+//! (`tests/golden_rng.rs`): any change to the core or the seeding path
+//! is a breaking change to every recorded experiment and must be made
+//! deliberately.
 
 /// SplitMix64 step: turns correlated seed inputs into well-mixed outputs.
 #[inline]
@@ -33,9 +39,15 @@ pub fn derive_seed(parent: u64, label: u64) -> u64 {
 }
 
 /// Deterministic RNG with the samplers used across the simulator.
+///
+/// The core is xoshiro256++ (Blackman & Vigna): 256 bits of state, a
+/// rotate-add output mix, and a period of 2^256 − 1. It is small, fast,
+/// and passes BigCrush — more than adequate for a discrete-event
+/// simulator, and entirely under this repository's control.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state; never all-zero.
+    state: [u64; 4],
     /// Cached second Box–Muller variate.
     spare_normal: Option<f64>,
 }
@@ -43,28 +55,51 @@ pub struct SimRng {
 impl SimRng {
     /// Create an RNG from a 64-bit seed (mixed through SplitMix64).
     pub fn new(seed: u64) -> Self {
-        let mut key = [0u8; 32];
         let mut s = seed;
-        for chunk in key.chunks_mut(8) {
+        let mut state = [0u64; 4];
+        for word in &mut state {
             s = splitmix64(s);
-            chunk.copy_from_slice(&s.to_le_bytes());
+            *word = s;
+        }
+        // The all-zero state is the one fixed point of the transition;
+        // a SplitMix64 chain cannot practically produce it, but guard
+        // anyway so every seed yields a working generator.
+        if state == [0, 0, 0, 0] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
         }
         SimRng {
-            inner: StdRng::from_seed(key),
+            state,
             spare_normal: None,
         }
     }
 
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
     /// Fork an independent RNG for a labelled sub-component.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let s: u64 = self.inner.gen();
+        let s = self.next_u64();
         SimRng::new(derive_seed(s, label))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -73,11 +108,12 @@ impl SimRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (multiply-shift; bias < n / 2^64,
+    /// immaterial at simulation scales).
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() over empty range");
-        self.inner.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with probability `p`.

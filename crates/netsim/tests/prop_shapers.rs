@@ -6,7 +6,7 @@ use netsim::shaper::{
     EmpiricalShaper, NoiseConfig, NoiseShaper, PerCoreQos, PerCoreQosConfig, QuantileDist, Shaper,
     StaticShaper, TokenBucket,
 };
-use proptest::prelude::*;
+use proplite::prelude::*;
 
 /// Drive any shaper through a schedule and check universal invariants:
 /// grants are within [0, demand], and replay after reset is identical.
@@ -30,11 +30,11 @@ fn check_shaper_invariants<S: Shaper>(shaper: &mut S, schedule: &[(f64, f64)]) {
 }
 
 fn schedule_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.01f64..2.0, 0.0f64..5e10), 1..120)
+    vec_of((0.01f64..2.0, 0.0f64..5e10), 1..120)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop_cases! {
+    #![config(Config::with_cases(48))]
 
     #[test]
     fn token_bucket_universal(schedule in schedule_strategy(), budget in 0.0f64..1e13) {

@@ -1,0 +1,108 @@
+//! Strategy combinators: map, filter, and one-of.
+
+use crate::strategy::Strategy;
+use netsim::rng::SimRng;
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) base: S,
+    pub(crate) f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Seed = S::Seed;
+    type Value = T;
+
+    fn generate(&self, rng: &mut SimRng) -> Self::Seed {
+        self.base.generate(rng)
+    }
+
+    fn materialize(&self, seed: &Self::Seed) -> T {
+        (self.f)(self.base.materialize(seed))
+    }
+
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+        self.base.shrink(seed)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    pub(crate) base: S,
+    pub(crate) label: &'static str,
+    pub(crate) pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Seed = S::Seed;
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SimRng) -> Self::Seed {
+        // A local retry loop keeps filtering simple for the runner; a
+        // predicate this selective is a test bug, not a data point.
+        for _ in 0..1_000 {
+            let seed = self.base.generate(rng);
+            if (self.pred)(&self.base.materialize(&seed)) {
+                return seed;
+            }
+        }
+        panic!(
+            "prop_filter({:?}) rejected 1000 consecutive cases; loosen the base strategy",
+            self.label
+        );
+    }
+
+    fn materialize(&self, seed: &Self::Seed) -> Self::Value {
+        self.base.materialize(seed)
+    }
+
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+        self.base
+            .shrink(seed)
+            .into_iter()
+            .filter(|s| (self.pred)(&self.base.materialize(s)))
+            .collect()
+    }
+}
+
+/// Strategy choosing uniformly among same-typed alternatives.
+pub struct OneOf<S> {
+    options: Vec<S>,
+}
+
+/// Pick one of several strategies of the same type per case
+/// (a same-typed `prop_oneof!`).
+pub fn oneof<S: Strategy>(options: Vec<S>) -> OneOf<S> {
+    assert!(!options.is_empty(), "oneof of no strategies");
+    OneOf { options }
+}
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Seed = (usize, S::Seed);
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SimRng) -> Self::Seed {
+        let which = rng.index(self.options.len());
+        (which, self.options[which].generate(rng))
+    }
+
+    fn materialize(&self, seed: &Self::Seed) -> Self::Value {
+        self.options[seed.0].materialize(&seed.1)
+    }
+
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+        self.options[seed.0]
+            .shrink(&seed.1)
+            .into_iter()
+            .map(|s| (seed.0, s))
+            .collect()
+    }
+}

@@ -1,0 +1,142 @@
+//! The `prop_cases!` test-definition macro and the in-property
+//! assertion macros (`prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`).
+
+/// Define property tests, mirroring `proptest!`'s surface closely
+/// enough that suites port near-mechanically:
+///
+/// ```
+/// use proplite::prelude::*;
+///
+/// prop_cases! {
+///     #![config(Config::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each function's arguments draw from the given strategies; bodies may
+/// use the `prop_assert*` macros (which report and shrink) or plain
+/// `assert!` (panics are caught and shrunk identically), and may
+/// `return Ok(());` to end a case early.
+#[macro_export]
+macro_rules! prop_cases {
+    (#![config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__prop_cases_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__prop_cases_impl! { ($crate::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`prop_cases!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_cases_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::Config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                #[allow(unused_parens, unreachable_code)]
+                |($($arg,)+)| -> $crate::CaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__prop_cases_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Check a condition inside a property; on failure the case is shrunk
+/// and reported with its replay seed. Accepts an optional format
+/// message like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::CaseError::Fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::CaseError::Fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::CaseError::Fail(format!(
+                "prop_assert_eq! failed at {}:{}: {:?} != {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err($crate::CaseError::Fail(format!(
+                "prop_assert_ne! failed at {}:{}: both sides are {:?}",
+                file!(),
+                line!(),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it does not count as pass or fail) when a
+/// precondition does not hold; the runner re-draws from a perturbed
+/// stream.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::CaseError::Reject(format!(
+                "prop_assume!({}) at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}

@@ -1,0 +1,204 @@
+//! Case execution: the deterministic runner, greedy shrinker, and
+//! replayable failure reports.
+
+use crate::strategy::Strategy;
+use netsim::rng::{derive_seed, splitmix64, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of property cases per test.
+    pub cases: u32,
+    /// Run seed; case seeds are derived from it per index. Fixed by
+    /// default so offline runs are bit-for-bit reproducible.
+    pub seed: u64,
+    /// Upper bound on shrink attempts after a failure.
+    pub max_shrink_iters: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole run.
+    pub max_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            seed: 0xC10D_4EB8_0D15_C0DE,
+            max_shrink_iters: 4_096,
+            max_rejects: 8_192,
+        }
+    }
+}
+
+impl Config {
+    /// Default configuration with a custom case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The property is false for this input (assertion failure/panic).
+    Fail(String),
+    /// The input did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+/// Result type returned by property bodies (via the `prop_cases!`
+/// expansion and the `prop_assert*` macros).
+pub type CaseResult = Result<(), CaseError>;
+
+/// A fully-shrunk property failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Seed that regenerates the failing case (`PROPLITE_REPLAY`).
+    pub case_seed: u64,
+    /// Index of the failing case within the run.
+    pub case_index: u32,
+    /// Failure message of the minimal counterexample.
+    pub message: String,
+    /// `Debug` rendering of the minimal counterexample's seed form.
+    pub minimal: String,
+    /// Number of shrink attempts executed.
+    pub shrink_steps: u32,
+}
+
+impl Failure {
+    /// Human-readable report, including the replay instructions.
+    pub fn render(&self, name: &str) -> String {
+        format!(
+            "property '{name}' failed at case {idx}\n\
+             minimal counterexample: {min}\n\
+             cause: {msg}\n\
+             ({steps} shrink steps; replay this exact case with \
+             PROPLITE_REPLAY={seed} cargo test {name})",
+            idx = self.case_index,
+            min = self.minimal,
+            msg = self.message,
+            steps = self.shrink_steps,
+            seed = self.case_seed,
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Materialize `seed` and run the property, converting panics (plain
+/// `assert!`/`assert_eq!` in the body or code under test) into failures.
+fn execute<S, F>(strategy: &S, seed: &S::Seed, test: &F) -> CaseResult
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(strategy.materialize(seed)))) {
+        Ok(r) => r,
+        Err(payload) => Err(CaseError::Fail(panic_message(payload))),
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first simpler seed that still
+/// fails, until none do or the budget runs out.
+fn shrink_loop<S, F>(
+    strategy: &S,
+    mut current: S::Seed,
+    mut message: String,
+    config: &Config,
+    test: &F,
+) -> (S::Seed, String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    let mut steps = 0u32;
+    'outer: while steps < config.max_shrink_iters {
+        for candidate in strategy.shrink(&current) {
+            steps += 1;
+            if let Err(CaseError::Fail(msg)) = execute(strategy, &candidate, test) {
+                current = candidate;
+                message = msg;
+                continue 'outer;
+            }
+            if steps >= config.max_shrink_iters {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (current, message, steps)
+}
+
+/// Run a property and return the shrunk failure instead of panicking.
+///
+/// This is the introspectable entry point (used by proplite's own
+/// tests); [`run`] wraps it for `#[test]` functions.
+pub fn check<S, F>(config: &Config, strategy: &S, test: F) -> Result<u32, Failure>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    // PROPLITE_REPLAY pins the run to exactly one recorded case seed.
+    let replay = std::env::var("PROPLITE_REPLAY")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+
+    let mut rejects = 0u32;
+    let cases = if replay.is_some() { 1 } else { config.cases };
+    for index in 0..cases {
+        let mut case_seed = match replay {
+            Some(seed) => seed,
+            None => derive_seed(config.seed, index as u64),
+        };
+        loop {
+            let mut rng = SimRng::new(case_seed);
+            let seed_val = strategy.generate(&mut rng);
+            match execute(strategy, &seed_val, &test) {
+                Ok(()) => break,
+                Err(CaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_rejects,
+                        "too many prop_assume! rejections ({rejects}); last: {why}"
+                    );
+                    // Re-draw this case from a perturbed stream.
+                    case_seed = splitmix64(case_seed);
+                }
+                Err(CaseError::Fail(message)) => {
+                    let (minimal, message, shrink_steps) =
+                        shrink_loop(strategy, seed_val, message, config, &test);
+                    return Err(Failure {
+                        case_seed,
+                        case_index: index,
+                        message,
+                        minimal: format!("{minimal:?}"),
+                        shrink_steps,
+                    });
+                }
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// Run a property, panicking with a replayable report on failure.
+pub fn run<S, F>(config: &Config, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> CaseResult,
+{
+    if let Err(failure) = check(config, strategy, test) {
+        panic!("{}", failure.render(name));
+    }
+}

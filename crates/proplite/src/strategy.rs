@@ -1,0 +1,332 @@
+//! The [`Strategy`] trait and the base strategies: numeric ranges,
+//! booleans, constants, vectors, and tuples.
+
+use crate::combinators::{Filter, Map};
+use netsim::rng::SimRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating, materializing, and shrinking test inputs.
+///
+/// `Seed` is the shrinkable canonical form (always `Clone + Debug`, so
+/// failures can be reported); `Value` is what the property receives.
+/// Base strategies use the same type for both; combinators keep the
+/// underlying seed so shrinking survives mapping and filtering.
+pub trait Strategy {
+    /// Shrinkable canonical representation of one generated case.
+    type Seed: Clone + Debug;
+    /// The input type handed to the property.
+    type Value;
+
+    /// Draw one case from the RNG stream.
+    fn generate(&self, rng: &mut SimRng) -> Self::Seed;
+
+    /// Turn a seed into the value the property sees.
+    fn materialize(&self, seed: &Self::Seed) -> Self::Value;
+
+    /// Propose strictly simpler seeds (candidates tried in order by the
+    /// greedy shrinker). Returning an empty vector means "minimal".
+    fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed>;
+
+    /// Transform generated values, preserving shrinkability of the
+    /// underlying seed.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only values satisfying `pred`. `label` names the constraint
+    /// in exhaustion errors.
+    fn prop_filter<F>(self, label: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            label,
+            pred,
+        }
+    }
+}
+
+// --- numeric ranges -------------------------------------------------------
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Seed = $t;
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as u64) as $t
+            }
+
+            fn materialize(&self, seed: &$t) -> $t {
+                *seed
+            }
+
+            fn shrink(&self, seed: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *seed;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && (v - 1) != mid {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Seed = $t;
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+
+            fn materialize(&self, seed: &$t) -> $t {
+                *seed
+            }
+
+            fn shrink(&self, seed: &$t) -> Vec<$t> {
+                let v = *seed;
+                // Shrink toward zero when the range allows it, else
+                // toward the lower bound.
+                let target: $t = if self.start <= 0 && self.end > 0 { 0 } else { self.start };
+                let mut out = Vec::new();
+                if v != target {
+                    out.push(target);
+                    let mid = target + (v - target) / 2;
+                    if mid != target && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Seed = $t;
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                (self.start as f64 + (self.end as f64 - self.start as f64) * rng.uniform()) as $t
+            }
+
+            fn materialize(&self, seed: &$t) -> $t {
+                *seed
+            }
+
+            fn shrink(&self, seed: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *seed;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2.0;
+                    if mid > lo && mid < v {
+                        out.push(mid);
+                    }
+                }
+                // Prefer zero when it lies inside the range: "0.0" is a
+                // more legible minimum than an arbitrary lower bound.
+                if lo < 0.0 && self.end > 0.0 && v != 0.0 && !out.contains(&0.0) {
+                    out.insert(0, 0.0);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- booleans and constants ----------------------------------------------
+
+/// Strategy over `bool`; `false` is the minimal value.
+#[derive(Debug, Clone, Copy)]
+pub struct Bools;
+
+/// Equivalent of proptest's `any::<bool>()`.
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Seed = bool;
+    type Value = bool;
+
+    fn generate(&self, rng: &mut SimRng) -> bool {
+        rng.chance(0.5)
+    }
+
+    fn materialize(&self, seed: &bool) -> bool {
+        *seed
+    }
+
+    fn shrink(&self, seed: &bool) -> Vec<bool> {
+        if *seed {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Strategy that always yields a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+/// Constant strategy (proptest's `Just`).
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Seed = T;
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SimRng) -> T {
+        self.0.clone()
+    }
+
+    fn materialize(&self, seed: &T) -> T {
+        seed.clone()
+    }
+
+    fn shrink(&self, _seed: &T) -> Vec<T> {
+        Vec::new()
+    }
+}
+
+// --- vectors --------------------------------------------------------------
+
+/// Strategy for vectors of another strategy's values, with the length
+/// drawn uniformly from a half-open range.
+pub struct VecOf<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Equivalent of `prop::collection::vec(elem, lo..hi)`.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecOf { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Seed = Vec<S::Seed>;
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut SimRng) -> Vec<S::Seed> {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + if span > 1 { rng.index(span) } else { 0 };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn materialize(&self, seed: &Vec<S::Seed>) -> Vec<S::Value> {
+        seed.iter().map(|s| self.elem.materialize(s)).collect()
+    }
+
+    fn shrink(&self, seed: &Vec<S::Seed>) -> Vec<Vec<S::Seed>> {
+        let min = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks first: shorter vectors localize failures
+        // much faster than smaller elements.
+        if seed.len() > min {
+            let half = (seed.len() / 2).max(min);
+            if half < seed.len() {
+                out.push(seed[..half].to_vec());
+            }
+            if seed.len() - 1 >= min && seed.len() - 1 != half {
+                out.push(seed[..seed.len() - 1].to_vec());
+                let mut tail = seed.clone();
+                tail.remove(0);
+                out.push(tail);
+            }
+        }
+        // Then element-wise shrinks, capped so a long vector does not
+        // explode the candidate list.
+        const MAX_ELEMENT_CANDIDATES: usize = 64;
+        'outer: for (i, elem_seed) in seed.iter().enumerate() {
+            for cand in self.elem.shrink(elem_seed) {
+                if out.len() >= MAX_ELEMENT_CANDIDATES {
+                    break 'outer;
+                }
+                let mut next = seed.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Seed = ($($s::Seed,)+);
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SimRng) -> Self::Seed {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn materialize(&self, seed: &Self::Seed) -> Self::Value {
+                ($(self.$idx.materialize(&seed.$idx),)+)
+            }
+
+            fn shrink(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&seed.$idx) {
+                        let mut next = seed.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

@@ -1,0 +1,170 @@
+//! proplite testing itself: replayability, shrinking quality, and
+//! failure reporting. These are the guarantees the seven workspace
+//! property suites lean on.
+
+use proplite::prelude::*;
+use proplite::{check, vec_of, CaseError, Config, Failure};
+
+fn failing_threshold_property(limit: u64) -> impl Fn(u64) -> proplite::CaseResult {
+    move |v| {
+        if v >= limit {
+            Err(CaseError::Fail(format!("{v} >= {limit}")))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A deliberately broken invariant must fail, and greedy shrinking must
+/// drive the counterexample to the exact minimal violating input.
+#[test]
+fn shrinking_reaches_minimal_counterexample() {
+    let config = Config::with_cases(256);
+    let failure = check(&config, &(0u64..10_000), failing_threshold_property(700))
+        .expect_err("property is false, must fail");
+    assert_eq!(
+        failure.minimal, "700",
+        "expected the boundary value, got {failure:?}"
+    );
+}
+
+/// Same config, same strategy → identical failure (case index, seed,
+/// and minimal counterexample): a seeded run is fully replayable.
+#[test]
+fn seeded_runs_are_replayable() {
+    let config = Config::with_cases(128);
+    let go = || -> Failure {
+        check(&config, &(0u64..100_000), failing_threshold_property(99_000))
+            .expect_err("must fail")
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.case_index, b.case_index);
+    assert_eq!(a.case_seed, b.case_seed);
+    assert_eq!(a.minimal, b.minimal);
+    // And a different run seed explores different cases.
+    let other = Config {
+        seed: config.seed + 1,
+        ..config.clone()
+    };
+    let c = check(&other, &(0u64..100_000), failing_threshold_property(99_000))
+        .expect_err("must fail");
+    assert!(
+        c.case_seed != a.case_seed || c.case_index != a.case_index,
+        "different run seeds should not replay the same stream"
+    );
+}
+
+/// The rendered failure message must carry the replay seed so the case
+/// can be re-run in isolation via PROPLITE_REPLAY.
+#[test]
+fn failure_message_includes_replay_seed() {
+    let config = Config::with_cases(64);
+    let failure = check(&config, &(0u64..1_000), failing_threshold_property(1))
+        .expect_err("must fail");
+    let rendered = failure.render("failure_message_includes_replay_seed");
+    assert!(
+        rendered.contains(&format!("PROPLITE_REPLAY={}", failure.case_seed)),
+        "no replay seed in: {rendered}"
+    );
+    assert!(rendered.contains("minimal counterexample"));
+}
+
+/// Vector shrinking: a property that fails whenever the vector contains
+/// a large element should shrink to a short vector holding one minimal
+/// offending element.
+#[test]
+fn vector_shrinks_structurally_and_elementwise() {
+    let config = Config::with_cases(256);
+    let strategy = vec_of(0u64..1_000, 1..64);
+    let failure = check(&config, &strategy, |v: Vec<u64>| {
+        if v.iter().any(|&x| x >= 500) {
+            Err(CaseError::Fail("contains large element".into()))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("must fail");
+    assert_eq!(failure.minimal, "[500]", "got {failure:?}");
+}
+
+/// Shrinking works through prop_map: the seed (pre-image) is shrunk and
+/// re-mapped, so mapped strategies still minimize.
+#[test]
+fn shrinking_survives_prop_map() {
+    let config = Config::with_cases(256);
+    let strategy = (0u64..10_000).prop_map(|v| v * 2);
+    let failure = check(&config, &strategy, |doubled| {
+        if doubled >= 600 {
+            Err(CaseError::Fail(format!("{doubled} too big")))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("must fail");
+    // Minimal seed is 300, materializing to 600.
+    assert_eq!(failure.minimal, "300", "got {failure:?}");
+}
+
+/// Panics inside the property body (plain assert!) are caught, shrunk,
+/// and reported like prop_assert! failures.
+#[test]
+fn plain_asserts_are_caught_and_shrunk() {
+    let config = Config::with_cases(256);
+    let failure = check(&config, &(0u64..4_096), |v| {
+        assert!(v < 1024, "boom at {v}");
+        Ok(())
+    })
+    .expect_err("must fail");
+    assert_eq!(failure.minimal, "1024");
+    assert!(failure.message.contains("boom"));
+}
+
+/// A true property passes and runs exactly the configured case count.
+#[test]
+fn passing_property_runs_all_cases() {
+    let config = Config::with_cases(77);
+    let ran = check(&config, &(0u64..100, 0u64..100), |(a, b)| {
+        if a + b == b + a {
+            Ok(())
+        } else {
+            Err(CaseError::Fail("math is broken".into()))
+        }
+    })
+    .expect("property holds");
+    assert_eq!(ran, 77);
+}
+
+// The macro surface, exercised end-to-end (these are real passing
+// properties, so they double as an integration test of prop_cases!).
+prop_cases! {
+    #![config(Config::with_cases(32))]
+
+    #[test]
+    fn macro_single_argument(n in 0usize..50) {
+        prop_assert!(n < 50);
+    }
+
+    #[test]
+    fn macro_tuples_filters_and_assume(
+        xs in vec_of((0u64..100, 0.0f64..1.0), 1..20),
+        flag in bools(),
+        scaled in (1u64..50).prop_filter("nonzero doubles", |v| v % 2 == 0),
+    ) {
+        prop_assume!(!xs.is_empty());
+        prop_assert_eq!(scaled % 2, 0);
+        prop_assert_ne!(xs.len(), 0);
+        for (a, b) in &xs {
+            prop_assert!(*a < 100 && (0.0..1.0).contains(b), "bad pair ({}, {})", a, b);
+        }
+        if flag {
+            return Ok(());
+        }
+        prop_assert!(!flag);
+    }
+
+    #[test]
+    fn macro_oneof(v in oneof(vec![0u64..10, 100u64..110]) ) {
+        prop_assert!(v < 10 || (100..110).contains(&v));
+    }
+}

@@ -59,9 +59,9 @@ mod tests {
 
     #[test]
     fn iid_noise_has_near_zero_acf() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let xs: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        use netsim::rng::SimRng;
+        let mut rng = SimRng::new(9);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.uniform()).collect();
         for k in 1..10 {
             assert!(autocorrelation(&xs, k).abs() < 0.05, "lag {k}");
         }

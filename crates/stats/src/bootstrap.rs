@@ -6,8 +6,7 @@
 //! seed. Used by the reporting layer when the statistic of interest is
 //! not a plain quantile.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use netsim::rng::SimRng;
 
 /// A bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,13 +41,13 @@ where
     assert!(!samples.is_empty(), "bootstrap of empty sample");
     assert!(resamples >= 2);
     assert!(conf > 0.0 && conf < 1.0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let n = samples.len();
     let mut replicates = Vec::with_capacity(resamples);
     let mut buf = vec![0.0; n];
     for _ in 0..resamples {
         for slot in buf.iter_mut() {
-            *slot = samples[rng.gen_range(0..n)];
+            *slot = samples[rng.index(n)];
         }
         replicates.push(statistic(&buf));
     }
@@ -94,13 +93,13 @@ where
     let n = samples.len();
     let n_starts = n - block_len + 1;
     let blocks_needed = n.div_ceil(block_len);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut replicates = Vec::with_capacity(resamples);
     let mut buf = Vec::with_capacity(blocks_needed * block_len);
     for _ in 0..resamples {
         buf.clear();
         for _ in 0..blocks_needed {
-            let start = rng.gen_range(0..n_starts);
+            let start = rng.index(n_starts);
             buf.extend_from_slice(&samples[start..start + block_len]);
         }
         buf.truncate(n);
@@ -128,8 +127,8 @@ mod tests {
     use crate::describe::{mean, median};
 
     fn uniform_samples(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| rng.gen::<f64>() * 100.0).collect()
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| rng.uniform() * 100.0).collect()
     }
 
     #[test]
@@ -182,10 +181,10 @@ mod tests {
 
     /// AR(1) series for block-bootstrap tests.
     fn ar1_series(n: usize, phi: f64, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
         let mut xs = vec![0.0f64];
         for _ in 1..n {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.uniform() - 0.5;
             xs.push(phi * xs.last().unwrap() + e);
         }
         xs.iter().map(|x| 100.0 + x).collect()

@@ -242,12 +242,12 @@ mod tests {
     fn coverage_is_close_to_nominal() {
         // Empirical check: CI for the median of Uniform(0,1) samples
         // should contain 0.5 about 95% of the time.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        use netsim::rng::SimRng;
+        let mut rng = SimRng::new(1234);
         let mut covered = 0;
         let trials = 600;
         for _ in 0..trials {
-            let xs: Vec<f64> = (0..60).map(|_| rng.gen::<f64>()).collect();
+            let xs: Vec<f64> = (0..60).map(|_| rng.uniform()).collect();
             if quantile_ci(&xs, 0.5, 0.95).unwrap().contains(0.5) {
                 covered += 1;
             }

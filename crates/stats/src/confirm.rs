@@ -107,12 +107,12 @@ pub fn confirm_discretized(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn noisy_samples(n: usize, noise: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
         (0..n)
-            .map(|_| 100.0 * (1.0 + noise * (rng.gen::<f64>() - 0.5)))
+            .map(|_| 100.0 * (1.0 + noise * (rng.uniform() - 0.5)))
             .collect()
     }
 
@@ -182,11 +182,11 @@ mod tests {
     fn discretized_confirm_smooths_bursty_noise() {
         // A stream with occasional large spikes: raw CONFIRM needs many
         // samples; hourly medians converge immediately.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = SimRng::new(5);
         let samples: Vec<(f64, f64)> = (0..2000)
             .map(|i| {
-                let spike = if rng.gen::<f64>() < 0.05 { 50.0 } else { 0.0 };
-                (i as f64 * 10.0, 100.0 + rng.gen::<f64>() + spike)
+                let spike = if rng.uniform() < 0.05 { 50.0 } else { 0.0 };
+                (i as f64 * 10.0, 100.0 + rng.uniform() + spike)
             })
             .collect();
         let curve = confirm_discretized(&samples, 3600.0, 0.95);

@@ -157,10 +157,10 @@ pub fn adf_test(y: &[f64], lags: usize) -> AdfResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> SimRng {
+        SimRng::new(seed)
     }
 
     #[test]
@@ -168,7 +168,7 @@ mod tests {
         let mut r = rng(1);
         let mut y = vec![0.0f64];
         for _ in 0..500 {
-            let e: f64 = r.gen::<f64>() - 0.5;
+            let e: f64 = r.uniform() - 0.5;
             y.push(0.5 * y.last().unwrap() + e);
         }
         let res = adf_test(&y, 1);
@@ -180,7 +180,7 @@ mod tests {
         let mut r = rng(2);
         let mut y = vec![0.0f64];
         for _ in 0..500 {
-            let e: f64 = r.gen::<f64>() - 0.5;
+            let e: f64 = r.uniform() - 0.5;
             y.push(y.last().unwrap() + e);
         }
         let res = adf_test(&y, 1);
@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn white_noise_is_strongly_stationary() {
         let mut r = rng(3);
-        let y: Vec<f64> = (0..300).map(|_| r.gen::<f64>()).collect();
+        let y: Vec<f64> = (0..300).map(|_| r.uniform()).collect();
         let res = adf_test(&y, 2);
         assert!(res.statistic < -5.0, "stat {}", res.statistic);
         assert!(res.stationary_at(0.01));
@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn lag_zero_equivalent_series_works() {
         let mut r = rng(4);
-        let y: Vec<f64> = (0..100).map(|_| r.gen::<f64>() * 10.0).collect();
+        let y: Vec<f64> = (0..100).map(|_| r.uniform() * 10.0).collect();
         let res = adf_test(&y, 0);
         assert!(res.statistic.is_finite());
         assert_eq!(res.lags, 0);

@@ -75,11 +75,11 @@ pub fn one_way_anova(groups: &[&[f64]]) -> AnovaResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn group(n: usize, mean: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| mean + rng.gen::<f64>() - 0.5).collect()
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| mean + rng.uniform() - 0.5).collect()
     }
 
     #[test]

@@ -85,13 +85,13 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> KruskalWallisResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn group(n: usize, shift: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
         // Deliberately non-normal (exponential-ish).
         (0..n)
-            .map(|_| shift - (rng.gen::<f64>().max(1e-12)).ln())
+            .map(|_| shift - (rng.uniform().max(1e-12)).ln())
             .collect()
     }
 

@@ -80,11 +80,11 @@ fn q_ks(lambda: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| lo + (hi - lo) * rng.gen::<f64>()).collect()
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| lo + (hi - lo) * rng.uniform()).collect()
     }
 
     #[test]

@@ -52,22 +52,22 @@ pub fn ljung_box(xs: &[f64], h: usize) -> LjungBoxResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     #[test]
     fn iid_noise_passes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let xs: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = SimRng::new(1);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.uniform()).collect();
         let r = ljung_box(&xs, 10);
         assert!(!r.rejects_independence(0.01), "p {}", r.p_value);
     }
 
     #[test]
     fn ar1_series_fails() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = SimRng::new(2);
         let mut xs = vec![0.0f64];
         for _ in 0..500 {
-            let e: f64 = rng.gen::<f64>() - 0.5;
+            let e: f64 = rng.uniform() - 0.5;
             xs.push(0.7 * xs.last().unwrap() + e);
         }
         let r = ljung_box(&xs, 10);

@@ -100,22 +100,22 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     #[test]
     fn identical_distributions_are_not_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let a: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
-        let b: Vec<f64> = (0..100).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = SimRng::new(1);
+        let a: Vec<f64> = (0..100).map(|_| rng.uniform()).collect();
+        let b: Vec<f64> = (0..100).map(|_| rng.uniform()).collect();
         let r = mann_whitney_u(&a, &b);
         assert!(!r.rejects_same_distribution(0.05), "p {}", r.p_value);
     }
 
     #[test]
     fn shifted_distributions_are_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let a: Vec<f64> = (0..80).map(|_| rng.gen::<f64>()).collect();
-        let b: Vec<f64> = (0..80).map(|_| rng.gen::<f64>() + 0.5).collect();
+        let mut rng = SimRng::new(2);
+        let a: Vec<f64> = (0..80).map(|_| rng.uniform()).collect();
+        let b: Vec<f64> = (0..80).map(|_| rng.uniform() + 0.5).collect();
         let r = mann_whitney_u(&a, &b);
         assert!(r.rejects_same_distribution(0.001), "p {}", r.p_value);
     }

@@ -76,15 +76,15 @@ impl AssumptionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     #[test]
     fn battery_passes_on_iid_noise() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = SimRng::new(11);
         let xs: Vec<f64> = (0..200)
             .map(|_| {
                 // Sum of uniforms ≈ normal.
-                (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+                (0..12).map(|_| rng.uniform()).sum::<f64>() - 6.0
             })
             .collect();
         let rep = AssumptionReport::run(&xs);

@@ -123,12 +123,12 @@ pub fn shapiro_wilk(xs: &[f64]) -> ShapiroWilkResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use netsim::rng::SimRng;
 
     fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::new(seed);
         (0..n)
-            .map(|_| (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0)
+            .map(|_| (0..12).map(|_| rng.uniform()).sum::<f64>() - 6.0)
             .collect()
     }
 
@@ -144,16 +144,16 @@ mod tests {
 
     #[test]
     fn rejects_uniform_data() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let xs: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let mut rng = SimRng::new(4);
+        let xs: Vec<f64> = (0..500).map(|_| rng.uniform()).collect();
         let r = shapiro_wilk(&xs);
         assert!(r.rejects_normality(0.05), "p {}", r.p_value);
     }
 
     #[test]
     fn rejects_exponential_data() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let xs: Vec<f64> = (0..200).map(|_| -(rng.gen::<f64>().max(1e-12)).ln()).collect();
+        let mut rng = SimRng::new(5);
+        let xs: Vec<f64> = (0..200).map(|_| -(rng.uniform().max(1e-12)).ln()).collect();
         let r = shapiro_wilk(&xs);
         assert!(r.w < 0.95, "W {}", r.w);
         assert!(r.rejects_normality(0.001), "p {}", r.p_value);

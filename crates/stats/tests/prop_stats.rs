@@ -1,6 +1,6 @@
 //! Property-based tests over the statistics toolkit.
 
-use proptest::prelude::*;
+use proplite::prelude::*;
 use vstats::bootstrap::bootstrap_ci;
 use vstats::describe::{ecdf, histogram, mean, quantile, BoxSummary, Summary};
 use vstats::htest::kruskal::kruskal_wallis;
@@ -10,11 +10,11 @@ use vstats::kappa::cohens_kappa;
 use vstats::{confirm_curve, quantile_ci};
 
 fn finite_vec(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e9f64..1e9, n)
+    vec_of(-1e9f64..1e9, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_cases! {
+    #![config(Config::with_cases(64))]
 
     #[test]
     fn quantile_bounded_and_monotone(xs in finite_vec(1..300)) {
@@ -59,7 +59,7 @@ proptest! {
     }
 
     #[test]
-    fn kappa_bounds_and_identity(labels in prop::collection::vec(0u8..4, 2..100)) {
+    fn kappa_bounds_and_identity(labels in vec_of(0u8..4, 2..100)) {
         prop_assert_eq!(cohens_kappa(&labels, &labels), 1.0);
         // Against a shifted copy, kappa stays within [-1, 1].
         let mut other = labels.clone();
@@ -82,7 +82,7 @@ proptest! {
     }
 
     #[test]
-    fn kruskal_p_valid(groups in prop::collection::vec(finite_vec(2..30), 2..5)) {
+    fn kruskal_p_valid(groups in vec_of(finite_vec(2..30), 2..5)) {
         let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
         let r = kruskal_wallis(&refs);
         prop_assert!((0.0..=1.0).contains(&r.p_value));
@@ -90,7 +90,7 @@ proptest! {
     }
 
     #[test]
-    fn shapiro_w_in_unit_interval(xs in prop::collection::vec(-1e6f64..1e6, 3..500)) {
+    fn shapiro_w_in_unit_interval(xs in vec_of(-1e6f64..1e6, 3..500)) {
         // Need a non-degenerate sample.
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -1,11 +1,11 @@
 //! Property-based tests over the survey pipeline: the aggregates must
 //! stay internally consistent under arbitrary sub-corpora.
 
-use proptest::prelude::*;
+use proplite::prelude::*;
 use survey::{generate, run_survey};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+prop_cases! {
+    #![config(Config::with_cases(32))]
 
     /// Running the pipeline over any prefix of the corpus keeps every
     /// aggregate within its definition: counts bounded by the corpus,

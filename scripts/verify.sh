@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Pre-PR gate for the hermetic-build policy.
+#
+# Runs the tier-1 suite fully offline and then fails if any dependency
+# in the graph resolves from outside this workspace. The workspace must
+# build, test, and bench with the registry unreachable; a dependency
+# that slips into a Cargo.toml shows up here before it shows up as a
+# broken offline build.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: offline release build =="
+cargo build --release --workspace --offline
+
+echo "== tier-1: offline tests =="
+cargo test -q --workspace --offline
+
+echo "== hermetic check: dependency sources =="
+# Every package in the resolved graph must come from the workspace
+# (cargo metadata reports `"source": null` for path dependencies).
+# Any non-null source means a registry/git dependency crept in.
+foreign=$(cargo metadata --format-version 1 --offline \
+  | tr ',' '\n' \
+  | grep -o '"source":"[^"]*"' \
+  | sort -u || true)
+if [ -n "$foreign" ]; then
+  echo "FAIL: non-workspace dependencies in the graph:" >&2
+  echo "$foreign" >&2
+  exit 1
+fi
+if grep -q 'source = "registry' Cargo.lock; then
+  echo "FAIL: Cargo.lock pins registry packages:" >&2
+  grep -B2 'source = "registry' Cargo.lock >&2
+  exit 1
+fi
+echo "OK: all dependencies are workspace-local"
+
+echo "== verify.sh: all gates passed =="

@@ -3,10 +3,10 @@
 use cloud_repro::prelude::*;
 use netsim::fabric::{Fabric, FlowSpec};
 use netsim::shaper::{Shaper, StaticShaper, TokenBucket};
-use proptest::prelude::*;
+use proplite::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_cases! {
+    #![config(Config::with_cases(64))]
 
     /// A token bucket never grants more than demand, never more than
     /// the peak rate allows, and its budget stays within [0, capacity]
@@ -14,7 +14,7 @@ proptest! {
     #[test]
     fn token_bucket_invariants(
         budget_gbit in 0.0f64..6000.0,
-        demands in prop::collection::vec(0.0f64..20e9, 1..200),
+        demands in vec_of(0.0f64..20e9, 1..200),
         dt in 0.01f64..2.0,
     ) {
         let mut tb = TokenBucket::sigma_rho(budget_gbit * 1e9, 1e9, 10e9);
@@ -35,7 +35,7 @@ proptest! {
     #[test]
     fn fabric_conserves_bits(
         n_nodes in 2usize..6,
-        flows in prop::collection::vec((0usize..6, 0usize..6, 1e9f64..50e9), 1..12),
+        flows in vec_of((0usize..6, 0usize..6, 1e9f64..50e9), 1..12),
     ) {
         let mut fabric = Fabric::new();
         for _ in 0..n_nodes {
@@ -76,7 +76,7 @@ proptest! {
     /// contain the sample median for any input data.
     #[test]
     fn quantile_ci_brackets(
-        mut xs in prop::collection::vec(-1e6f64..1e6, 10..200),
+        mut xs in vec_of(-1e6f64..1e6, 10..200),
     ) {
         let med = vstats::median(&xs);
         if let Some(ci) = vstats::quantile_ci(&xs, 0.5, 0.95) {
@@ -150,7 +150,7 @@ proptest! {
         treatments in 1usize..6,
         reps in 1usize..12,
         seed in 0u64..100,
-        randomize in any::<bool>(),
+        randomize in bools(),
     ) {
         let plan = measure::ExperimentPlan {
             repetitions: reps,
