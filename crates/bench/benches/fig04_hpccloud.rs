@@ -15,7 +15,7 @@ fn main() {
         "HPCCloud full-speed bandwidth over one week (10 s samples)",
     );
     let profile = hpccloud::n_core(8);
-    let res = run_campaign(&profile, TrafficPattern::FullSpeed, WEEK, 4);
+    let res = run_campaign(&profile, TrafficPattern::FullSpeed, WEEK, 4).unwrap();
 
     let series: Vec<(f64, f64)> = res
         .trace

@@ -24,7 +24,7 @@ fn main() {
         "Google Cloud (8-core) bandwidth by access pattern, one week",
     );
     let profile = gce::n_core(8);
-    let results = run_all_patterns(&profile, WEEK, 5);
+    let results = run_all_patterns(&profile, WEEK, 5).unwrap();
 
     for r in &results {
         let series: Vec<(f64, f64)> = r

@@ -14,7 +14,7 @@ fn main() {
         "Amazon EC2 c5.xlarge bandwidth by access pattern, one week",
     );
     let profile = ec2::c5_xlarge();
-    let results = run_all_patterns(&profile, WEEK, 6);
+    let results = run_all_patterns(&profile, WEEK, 6).unwrap();
 
     // CDF at selected probabilities.
     println!(

@@ -14,9 +14,9 @@ fn main() {
         "TCP retransmissions per week-long experiment, all clouds",
     );
 
-    let ec2_res = run_all_patterns(&ec2::c5_xlarge(), WEEK, 9);
-    let gce_res = run_all_patterns(&gce::n_core(8), WEEK, 9);
-    let hpc_res = run_all_patterns(&hpccloud::n_core(8), WEEK, 9);
+    let ec2_res = run_all_patterns(&ec2::c5_xlarge(), WEEK, 9).unwrap();
+    let gce_res = run_all_patterns(&gce::n_core(8), WEEK, 9).unwrap();
+    let hpc_res = run_all_patterns(&hpccloud::n_core(8), WEEK, 9).unwrap();
 
     println!("  per-cloud totals (thousand retransmissions, by pattern):");
     println!(

@@ -15,7 +15,7 @@ fn main() {
         ("Google Cloud", gce::n_core(8), 11u64),
     ] {
         println!("  -- {name} --");
-        let results = run_all_patterns(&profile, WEEK, seed);
+        let results = run_all_patterns(&profile, WEEK, seed).unwrap();
         for r in &results {
             let cum = r.trace.cumulative_traffic();
             series_row(&r.pattern, &cum, 1.0 / 8e12, "TB");

@@ -50,7 +50,7 @@ fn main() {
         // A 24 h slice of each of the three patterns is plenty to
         // exhibit (or not) the variability; the paper's "Yes" column
         // covers all patterns of a campaign.
-        let patterns = run_all_patterns(&row.profile, days(1.0), 1000 + i as u64);
+        let patterns = run_all_patterns(&row.profile, days(1.0), 1000 + i as u64).unwrap();
         let variable = patterns.iter().any(|r| r.exhibits_variability());
         let res = &patterns[0];
         all_variable &= variable;

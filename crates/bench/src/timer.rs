@@ -85,7 +85,7 @@ pub fn bench(name: &str, mut routine: impl FnMut()) -> Timing {
             start.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+    per_iter.sort_by(|a, b| a.total_cmp(b));
     let timing = Timing {
         median_ns: per_iter[per_iter.len() / 2],
         min_ns: per_iter[0],
@@ -117,7 +117,7 @@ pub fn bench_with_setup<S>(
             start.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("non-finite timing"));
+    per_iter.sort_by(|a, b| a.total_cmp(b));
     let timing = Timing {
         median_ns: per_iter[per_iter.len() / 2],
         min_ns: per_iter[0],

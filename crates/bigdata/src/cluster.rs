@@ -3,6 +3,7 @@
 use clouds::CloudProfile;
 use netsim::cpu::CpuCredits;
 use netsim::fabric::{CrossTraffic, Fabric, FlowId};
+use netsim::faults::FaultSchedule;
 use netsim::shaper::{Shaper, TokenBucket};
 use netsim::units::{gbit, gbps};
 
@@ -34,7 +35,7 @@ impl<S: Shaper> Cluster<S> {
         cores_per_node: u32,
     ) -> Self {
         assert!(!shapers.is_empty(), "cluster needs at least one node");
-        assert!(cores_per_node >= 1);
+        assert!(cores_per_node >= 1, "need at least one core per node");
         let mut fabric = Fabric::new();
         for s in shapers {
             fabric.add_node(s, ingress_cap_bps);
@@ -53,6 +54,19 @@ impl<S: Shaper> Cluster<S> {
     pub fn with_cross_traffic(mut self, traffic: CrossTraffic) -> Self {
         self.cross_traffic = Some(traffic);
         self
+    }
+
+    /// Attach a fault schedule to the underlying fabric: stalled nodes
+    /// neither send nor receive, degraded nodes run at a reduced rate,
+    /// and [`crate::speculate::run_job_speculative`] kills and retries
+    /// the tasks of stalled nodes.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.fabric.set_fault_schedule(schedule);
+    }
+
+    /// The fabric's fault schedule, if one is attached.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.fabric.fault_schedule()
     }
 
     /// Advance the cluster by `dt`: inject cross traffic (if any) and

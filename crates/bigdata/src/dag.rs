@@ -79,7 +79,7 @@ impl DagSpec {
 
     /// Set the shuffle skew.
     pub fn with_skew(mut self, skew: f64, hot_node: Option<usize>) -> Self {
-        assert!(skew >= 0.0);
+        assert!(skew >= 0.0, "skew must be non-negative");
         self.skew = skew;
         self.hot_node = hot_node;
         self

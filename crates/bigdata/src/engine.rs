@@ -147,7 +147,7 @@ impl Recorder {
 }
 
 /// Sample a lognormal task duration with mean `m` and CV `cv`.
-fn task_time(rng: &mut SimRng, m: f64, cv: f64) -> f64 {
+pub(crate) fn task_time(rng: &mut SimRng, m: f64, cv: f64) -> f64 {
     if cv <= 0.0 {
         return m;
     }

@@ -67,7 +67,7 @@ impl JobSpec {
 
     /// Set the shuffle skew factor.
     pub fn with_skew(mut self, skew: f64) -> Self {
-        assert!(skew >= 0.0);
+        assert!(skew >= 0.0, "skew must be non-negative");
         self.skew = skew;
         self
     }
@@ -81,7 +81,10 @@ impl JobSpec {
     /// Scale compute times and shuffle volumes (e.g. a warm-cache
     /// "power run" re-execution has much less compute per query).
     pub fn scaled(mut self, compute_factor: f64, shuffle_factor: f64) -> Self {
-        assert!(compute_factor > 0.0 && shuffle_factor >= 0.0);
+        assert!(
+            compute_factor > 0.0 && shuffle_factor >= 0.0,
+            "scale factors must be positive"
+        );
         for s in &mut self.stages {
             s.task_compute_s *= compute_factor;
             s.shuffle_bits *= shuffle_factor;

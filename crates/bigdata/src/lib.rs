@@ -21,6 +21,10 @@
 //!   Sort, Bayes) and TPC-DS (21-query subset) profiles.
 //! * [`straggler`] — per-node utilization analysis that detects the
 //!   token-bucket-induced stragglers of Figure 18.
+//! * [`speculate`] — fault tolerance: per-task scheduling with
+//!   stall-driven kills, retry, and speculative re-execution — plus the
+//!   controlled experiment showing speculation cannot cure a
+//!   token-bucket straggler (the copy's node is just as drained).
 //! * [`runner`] — repetition drivers implementing the paper's
 //!   experiment policies: fresh VMs, preset budgets, or carry-over
 //!   state between runs.
@@ -32,6 +36,7 @@ pub mod dag;
 pub mod engine;
 pub mod job;
 pub mod runner;
+pub mod speculate;
 pub mod straggler;
 pub mod workloads;
 
@@ -40,4 +45,8 @@ pub use dag::{run_dag, DagResult, DagSpec};
 pub use engine::{run_job, run_job_traced, JobResult, NodeTrace, StageResult};
 pub use job::{JobSpec, StageSpec};
 pub use runner::{run_repetitions, BudgetPolicy};
+pub use speculate::{
+    run_job_speculative, token_bucket_straggler_cure, SpeculationConfig, SpeculationReport,
+    StragglerCure,
+};
 pub use straggler::{detect_stragglers, StragglerReport};

@@ -73,7 +73,7 @@ pub fn detect_stragglers(traces: &[NodeTrace], throttle_threshold_bps: f64) -> S
             .filter(|&j| j != i)
             .map(|j| throttled_fraction[j])
             .collect();
-        others.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        others.sort_by(|a, b| a.total_cmp(b));
         let med_others = if others.is_empty() {
             0.0
         } else {

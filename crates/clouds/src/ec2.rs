@@ -15,6 +15,7 @@
 //! (2 VMs × 3 weeks of c5.xlarge ≈ $171).
 
 use crate::profile::{CloudProfile, Provider, QosModel};
+use netsim::faults::FaultConfig;
 
 /// c5.large: 2 vCPU, 10 Gbps peak, ~0.75 Gbps sustained.
 pub fn c5_large() -> CloudProfile {
@@ -29,6 +30,7 @@ pub fn c5_large() -> CloudProfile {
             high_gbps: 10.0,
             low_gbps: 0.75,
         },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -46,6 +48,7 @@ pub fn c5_xlarge() -> CloudProfile {
             high_gbps: 10.0,
             low_gbps: 1.0,
         },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -62,6 +65,7 @@ pub fn c5_2xlarge() -> CloudProfile {
             high_gbps: 10.0,
             low_gbps: 2.0,
         },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -78,6 +82,7 @@ pub fn c5_4xlarge() -> CloudProfile {
             high_gbps: 10.0,
             low_gbps: 4.0,
         },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -90,6 +95,7 @@ pub fn c5_9xlarge() -> CloudProfile {
         advertised_gbps: Some(10.0),
         price_per_hour_usd: Some(1.53),
         qos: QosModel::Dedicated { rate_gbps: 10.0 },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -106,6 +112,7 @@ pub fn m5_xlarge() -> CloudProfile {
             high_gbps: 10.0,
             low_gbps: 1.0,
         },
+        faults: FaultConfig::NONE,
     }
 }
 
@@ -118,6 +125,7 @@ pub fn m4_16xlarge() -> CloudProfile {
         advertised_gbps: Some(20.0),
         price_per_hour_usd: Some(3.20),
         qos: QosModel::Dedicated { rate_gbps: 20.0 },
+        faults: FaultConfig::NONE,
     }
 }
 

@@ -7,6 +7,7 @@
 //! measured 13–15.8 Gbps depending on the access pattern).
 
 use crate::profile::{CloudProfile, Provider, QosModel};
+use netsim::faults::FaultConfig;
 
 /// GCE instance with the given core count (1, 2, 4 or 8 in the paper).
 pub fn n_core(cores: u32) -> CloudProfile {
@@ -29,6 +30,7 @@ pub fn n_core(cores: u32) -> CloudProfile {
         advertised_gbps: Some(2.0 * cores as f64),
         price_per_hour_usd: Some(price),
         qos: QosModel::PerCore { per_core_gbps: 2.0 },
+        faults: FaultConfig::NONE,
     }
 }
 

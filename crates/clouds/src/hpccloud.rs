@@ -8,6 +8,7 @@
 //! 7.7–10.4 Gbps over a week (Figure 4).
 
 use crate::profile::{CloudProfile, Provider, QosModel};
+use netsim::faults::FaultConfig;
 
 /// HPCCloud VM with the given core count (2, 4 or 8 in Table 3).
 pub fn n_core(cores: u32) -> CloudProfile {
@@ -26,6 +27,7 @@ pub fn n_core(cores: u32) -> CloudProfile {
         qos: QosModel::Contention {
             capacity_gbps: 10.4,
         },
+        faults: FaultConfig::NONE,
     }
 }
 

@@ -1,5 +1,6 @@
 //! The unified [`CloudProfile`] type and VM instantiation.
 
+use netsim::faults::FaultConfig;
 use netsim::nic::{NicConfig, NicModel};
 use netsim::rng::SimRng;
 use netsim::shaper::{NoiseConfig, NoiseShaper, PerCoreQos, PerCoreQosConfig, Shaper, TokenBucket};
@@ -85,6 +86,12 @@ pub struct CloudProfile {
     pub price_per_hour_usd: Option<f64>,
     /// QoS mechanism.
     pub qos: QosModel,
+    /// Fault-rate parameters for long campaigns on this profile.
+    /// [`FaultConfig::NONE`] (the default in every stock profile) keeps
+    /// all fault-free goldens bit-identical; call
+    /// [`CloudProfile::with_reference_faults`] to switch on
+    /// provider-typical rates.
+    pub faults: FaultConfig,
 }
 
 /// An instantiated VM pair endpoint: egress shaper + virtual NIC.
@@ -192,6 +199,19 @@ impl CloudProfile {
         }
     }
 
+    /// The same profile with an explicit fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The same profile with provider-typical fault rates switched on
+    /// (see [`reference_faults`]).
+    pub fn with_reference_faults(self) -> Self {
+        let f = reference_faults(self.provider);
+        self.with_faults(f)
+    }
+
     /// The nominal token budget in Gbit (0 if not a token bucket).
     pub fn nominal_budget_gbit(&self) -> f64 {
         match self.qos {
@@ -211,6 +231,61 @@ impl CloudProfile {
             } => Some(budget_gbit / (high_gbps - low_gbps)),
             _ => None,
         }
+    }
+}
+
+/// Provider-typical fault rates for week-scale campaigns.
+///
+/// The numbers are order-of-magnitude estimates consistent with the
+/// related work the paper builds on: Gent & Kotthoff observe VM-level
+/// timing anomalies (stalls) on virtualised hardware at roughly a
+/// handful of events per VM-day, and Henning et al.'s daily/weekly
+/// variability regimes imply hour-scale capacity-degradation episodes.
+/// The private HPCCloud — no QoS, little statistical multiplexing —
+/// degrades more often but stalls less (no aggressive hypervisor
+/// scheduling); the hyperscalers stall more (live migration,
+/// maintenance) but degrade less.
+pub fn reference_faults(provider: Provider) -> FaultConfig {
+    match provider {
+        Provider::AmazonEc2 => FaultConfig {
+            stall_rate_per_hour: 0.15,
+            stall_mean_s: 20.0,
+            degrade_rate_per_hour: 0.05,
+            degrade_mean_s: 180.0,
+            degrade_min_factor: 0.3,
+            degrade_max_factor: 0.8,
+            loss_rate_per_hour: 0.10,
+            loss_mean_s: 15.0,
+            loss_frac: 0.4,
+            probe_loss_prob: 0.002,
+            pair_death_rate_per_hour: 0.001,
+        },
+        Provider::GoogleCloud => FaultConfig {
+            stall_rate_per_hour: 0.20,
+            stall_mean_s: 10.0,
+            degrade_rate_per_hour: 0.04,
+            degrade_mean_s: 240.0,
+            degrade_min_factor: 0.4,
+            degrade_max_factor: 0.85,
+            loss_rate_per_hour: 0.08,
+            loss_mean_s: 12.0,
+            loss_frac: 0.35,
+            probe_loss_prob: 0.002,
+            pair_death_rate_per_hour: 0.001,
+        },
+        Provider::HpcCloud => FaultConfig {
+            stall_rate_per_hour: 0.05,
+            stall_mean_s: 45.0,
+            degrade_rate_per_hour: 0.25,
+            degrade_mean_s: 300.0,
+            degrade_min_factor: 0.5,
+            degrade_max_factor: 0.9,
+            loss_rate_per_hour: 0.15,
+            loss_mean_s: 30.0,
+            loss_frac: 0.25,
+            probe_loss_prob: 0.004,
+            pair_death_rate_per_hour: 0.002,
+        },
     }
 }
 
@@ -255,6 +330,32 @@ mod tests {
         let p = ec2::c5_xlarge();
         let tte = p.nominal_time_to_empty_s().unwrap();
         assert!((tte - 555.5).abs() < 5.0, "tte {tte}");
+    }
+
+    #[test]
+    fn stock_profiles_have_faults_off() {
+        for p in ec2::all() {
+            assert!(p.faults.is_off(), "{} ships with faults on", p.instance_type);
+        }
+    }
+
+    #[test]
+    fn reference_faults_are_on_and_provider_specific() {
+        let p = ec2::c5_xlarge().with_reference_faults();
+        assert!(!p.faults.is_off());
+        assert_eq!(p.faults, reference_faults(Provider::AmazonEc2));
+        assert_ne!(
+            reference_faults(Provider::AmazonEc2),
+            reference_faults(Provider::HpcCloud)
+        );
+        // Degrade factors must be valid rate multipliers.
+        for prov in [Provider::AmazonEc2, Provider::GoogleCloud, Provider::HpcCloud] {
+            let f = reference_faults(prov);
+            assert!(f.degrade_min_factor > 0.0 && f.degrade_max_factor <= 1.0);
+            assert!(f.degrade_min_factor <= f.degrade_max_factor);
+            assert!((0.0..1.0).contains(&f.loss_frac));
+            assert!((0.0..1.0).contains(&f.probe_loss_prob));
+        }
     }
 
     #[test]

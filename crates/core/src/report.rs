@@ -21,7 +21,19 @@ pub struct MeasurementReport {
     pub p90_ci: Option<QuantileCi>,
     /// The F5.4 assumption battery (needs n ≥ 20).
     pub assumptions: Option<AssumptionReport>,
+    /// Fraction of the intended samples actually collected (1.0 = the
+    /// campaign lost nothing). Fault-tolerant harnesses return partial
+    /// data rather than failing; the report must say so, because
+    /// statistics over a gap-riddled sample describe the *surviving*
+    /// conditions, not the campaign that was designed.
+    pub coverage: f64,
 }
+
+/// Coverage below which a result is not publishable no matter how tight
+/// its CI: losing more than 10% of the intended samples biases tails
+/// and medians in ways the CI cannot see (the gaps are not missing at
+/// random — faults cluster).
+pub const MIN_PUBLISHABLE_COVERAGE: f64 = 0.9;
 
 impl MeasurementReport {
     /// Build a report from samples in execution order. Panics on an
@@ -37,12 +49,30 @@ impl MeasurementReport {
             p90_ci: quantile_ci(samples, 0.9, 0.95),
             assumptions: (samples.len() >= 20 && distinct)
                 .then(|| AssumptionReport::run(samples)),
+            coverage: 1.0,
         }
     }
 
+    /// Annotate the report with the fraction of intended samples that
+    /// survived (e.g. `gap_summary.coverage()` from a faulty campaign).
+    pub fn with_coverage(mut self, coverage: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be a fraction"
+        );
+        self.coverage = coverage;
+        self
+    }
+
+    /// Whether any intended data is missing.
+    pub fn is_degraded(&self) -> bool {
+        self.coverage < 1.0
+    }
+
     /// Is this result publishable by the paper's bar: a median CI
-    /// exists, its relative error is within `err_frac`, and no
-    /// assumption violation was detected?
+    /// exists, its relative error is within `err_frac`, no assumption
+    /// violation was detected, and the sample covers at least
+    /// [`MIN_PUBLISHABLE_COVERAGE`] of the intended measurements?
     pub fn publishable(&self, err_frac: f64) -> bool {
         let ci_ok = self
             .median_ci
@@ -52,7 +82,7 @@ impl MeasurementReport {
             .assumptions
             .map(|a| a.iid_assumptions_hold())
             .unwrap_or(true);
-        ci_ok && assumptions_ok
+        ci_ok && assumptions_ok && self.coverage >= MIN_PUBLISHABLE_COVERAGE
     }
 
     /// Render a human-readable block (used by examples and benches).
@@ -86,6 +116,13 @@ impl MeasurementReport {
                 ci.lower, ci.upper
             )),
             None => out.push_str("  p90    95% CI: not computable at this n\n"),
+        }
+        if self.is_degraded() {
+            out.push_str(&format!(
+                "  DEGRADED: only {:.1}% of intended samples collected \
+                 (faults/gaps); treat tails with caution\n",
+                self.coverage * 100.0
+            ));
         }
         if let Some(a) = self.assumptions {
             out.push_str(&format!(
@@ -151,5 +188,31 @@ mod tests {
         let r = MeasurementReport::new("const", &[5.0; 30]);
         assert!(r.assumptions.is_none());
         assert!(r.median_ci.is_some());
+    }
+
+    #[test]
+    fn low_coverage_blocks_publication_and_shows_in_render() {
+        let full = MeasurementReport::new("bench", &noisy(60, 12));
+        assert!(!full.is_degraded());
+        assert!(full.publishable(0.05));
+        assert!(!full.render().contains("DEGRADED"));
+
+        let gappy = MeasurementReport::new("bench", &noisy(60, 12)).with_coverage(0.8);
+        assert!(gappy.is_degraded());
+        assert!(!gappy.publishable(0.05), "80% coverage must not publish");
+        assert!(gappy.render().contains("DEGRADED"));
+        assert!(gappy.render().contains("80.0%"));
+
+        // Mild degradation above the floor still publishes, annotated.
+        let mild = MeasurementReport::new("bench", &noisy(60, 12)).with_coverage(0.95);
+        assert!(mild.is_degraded());
+        assert!(mild.publishable(0.05));
+        assert!(mild.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage must be a fraction")]
+    fn coverage_outside_unit_interval_is_rejected() {
+        let _ = MeasurementReport::new("bench", &noisy(30, 1)).with_coverage(1.2);
     }
 }

@@ -6,11 +6,62 @@
 //! reproduces one such pair-week (or any other duration) against a
 //! simulated cloud profile.
 
+use crate::error::MeasureError;
 use clouds::CloudProfile;
+use netsim::faults::{FaultInjector, FaultSchedule};
 use netsim::pattern::TrafficPattern;
+use netsim::rng::{derive_seed, SimRng};
 use netsim::tcp::{StreamConfig, StreamSim};
 use netsim::trace::BandwidthTrace;
-use vstats::describe::Summary;
+use vstats::describe::{GapAwareSummary, Summary};
+
+/// Seed-derivation labels: fault timeline, per-sample probe loss, and
+/// pair death draws must come from decoupled streams so that turning
+/// one fault class on never perturbs another.
+const LABEL_FAULT_TIMELINE: u64 = 0xFA17;
+const LABEL_PROBE_LOSS: u64 = 0x9B10;
+const LABEL_PAIR_DEATH: u64 = 0xD347;
+
+/// Why a stretch of a campaign trace has no data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapCause {
+    /// The VM was stalled (hypervisor pause / reboot).
+    VmStall,
+    /// The measurement harness lost the probe result.
+    ProbeLoss,
+    /// The VM pair died and never came back.
+    PairDeath,
+}
+
+impl GapCause {
+    /// Stable label for reports and CSV exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GapCause::VmStall => "vm-stall",
+            GapCause::ProbeLoss => "probe-loss",
+            GapCause::PairDeath => "pair-death",
+        }
+    }
+}
+
+/// A hole in a campaign trace: `[start_s, end_s)` produced no usable
+/// samples, and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceGap {
+    /// Gap start, seconds into the campaign.
+    pub start_s: f64,
+    /// Gap end (exclusive), seconds into the campaign.
+    pub end_s: f64,
+    /// What ate the data.
+    pub cause: GapCause,
+}
+
+impl TraceGap {
+    /// Gap length in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
 
 /// Result of one measurement campaign (one VM pair, one pattern).
 #[derive(Debug, Clone)]
@@ -21,17 +72,29 @@ pub struct CampaignResult {
     pub instance_type: &'static str,
     /// Traffic pattern label ("full-speed", "10-30", "5-30").
     pub pattern: String,
-    /// Campaign duration in seconds.
+    /// Campaign duration in seconds (as requested — a pair that died
+    /// early keeps the requested duration here and a
+    /// [`GapCause::PairDeath`] gap for the missing stretch).
     pub duration_s: f64,
-    /// The 10-second bandwidth summaries.
+    /// The 10-second bandwidth summaries that survived (samples lost to
+    /// faults are removed from the trace and recorded in `gaps`).
     pub trace: BandwidthTrace,
-    /// Descriptive statistics of the per-interval bandwidths.
+    /// Descriptive statistics of the surviving per-interval bandwidths.
     pub summary: Summary,
+    /// Holes in the trace, merged and ordered by start time. Empty for
+    /// a fault-free campaign.
+    pub gaps: Vec<TraceGap>,
+    /// Gap-aware accounting: how many samples were expected, how many
+    /// arrived, and the surviving summary. `coverage() == 1.0` for a
+    /// fault-free campaign.
+    pub gap_summary: GapAwareSummary,
     /// Total retransmissions observed.
     pub total_retransmissions: u64,
     /// Total bits transferred.
     pub total_bits: f64,
-    /// Cost of the pair for the duration, USD (None for HPCCloud).
+    /// Cost of the pair for the duration, USD (None for HPCCloud). A
+    /// pair that died early is billed to its death, not the full
+    /// requested duration.
     pub cost_usd: Option<f64>,
 }
 
@@ -47,50 +110,183 @@ impl CampaignResult {
     pub fn mean_bandwidth_bps(&self) -> f64 {
         self.summary.mean
     }
+
+    /// Fraction of expected samples that survived, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.gap_summary.coverage()
+    }
+
+    /// Whether any samples were lost to faults.
+    pub fn is_degraded(&self) -> bool {
+        self.gap_summary.is_degraded()
+    }
+
+    /// Total seconds of the campaign covered by gaps.
+    pub fn gapped_time_s(&self) -> f64 {
+        self.gaps.iter().map(|g| g.duration_s()).sum()
+    }
 }
 
 /// Run a campaign of `duration_s` seconds on `profile` under `pattern`.
 ///
 /// `seed` selects the VM incarnation and all stochastic behaviour; the
-/// same seed reproduces the campaign bit-for-bit.
+/// same seed reproduces the campaign bit-for-bit — including any fault
+/// episodes, which are generated from a derived seed when the profile's
+/// [`FaultConfig`](netsim::faults::FaultConfig) is switched on.
+/// Samples lost to VM stalls or probe loss are removed from the trace
+/// and recorded as [`TraceGap`]s; with faults off the result is
+/// identical to the pre-fault-layer harness.
+///
+/// Returns [`MeasureError::EmptyTrace`] when no samples survive (the
+/// duration is too short for the pattern, or faults ate everything).
 ///
 /// ```
 /// use measure::run_campaign;
 /// use netsim::TrafficPattern;
 ///
 /// let profile = clouds::hpccloud::n_core(8);
-/// let res = run_campaign(&profile, TrafficPattern::FullSpeed, 7200.0, 7);
+/// let res = run_campaign(&profile, TrafficPattern::FullSpeed, 7200.0, 7).unwrap();
 /// assert_eq!(res.provider, "HPCCloud");
 /// assert!(res.exhibits_variability()); // a contention episode hit
 /// assert!(res.summary.max <= 10.4e9 + 1.0); // Figure 4's ceiling
+/// assert!(!res.is_degraded()); // stock profiles have faults off
 /// ```
 pub fn run_campaign(
     profile: &CloudProfile,
     pattern: TrafficPattern,
     duration_s: f64,
     seed: u64,
-) -> CampaignResult {
+) -> Result<CampaignResult, MeasureError> {
     let mut vm = profile.instantiate(seed);
     let cfg = StreamConfig::new(duration_s, pattern);
-    let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
-    let bandwidths = res.bandwidth.bandwidths();
-    assert!(
-        !bandwidths.is_empty(),
-        "campaign produced no samples — duration too short for pattern?"
-    );
+
+    let (mut bandwidth, gaps) = if profile.faults.is_off() {
+        // Fault-free fast path: byte-identical to the original harness.
+        let res = StreamSim::run(&mut vm.shaper, &mut vm.nic, &cfg);
+        (res.bandwidth, Vec::new())
+    } else {
+        let schedule = FaultSchedule::generate(
+            &profile.faults,
+            1,
+            duration_s,
+            derive_seed(seed, LABEL_FAULT_TIMELINE),
+        );
+        let mut shaper = FaultInjector::new(vm.shaper, 0, schedule.clone());
+        let res = StreamSim::run(&mut shaper, &mut vm.nic, &cfg);
+        censor_trace(
+            res.bandwidth,
+            &schedule,
+            profile.faults.probe_loss_prob,
+            derive_seed(seed, LABEL_PROBE_LOSS),
+            duration_s,
+        )
+    };
+
+    let bandwidths = bandwidth.bandwidths();
+    if bandwidths.is_empty() {
+        return Err(MeasureError::EmptyTrace);
+    }
+    let expected_n = bandwidths.len() + gaps.len();
+    let gaps = merge_gaps(gaps);
     let summary = Summary::from_samples(&bandwidths);
+    let gap_summary = GapAwareSummary::from_samples(&bandwidths, expected_n, gaps.len());
+    bandwidth.samples.shrink_to_fit();
     let hours = duration_s / 3600.0;
-    CampaignResult {
+    Ok(CampaignResult {
         provider: profile.provider.name(),
         instance_type: profile.instance_type,
         pattern: pattern.label(),
         duration_s,
-        total_retransmissions: res.bandwidth.total_retransmissions(),
-        total_bits: res.bandwidth.total_bits(),
+        total_retransmissions: bandwidth.total_retransmissions(),
+        total_bits: bandwidth.total_bits(),
         cost_usd: profile.price_per_hour_usd.map(|p| p * 2.0 * hours),
         summary,
-        trace: res.bandwidth,
+        gaps,
+        gap_summary,
+        trace: bandwidth,
+    })
+}
+
+/// Remove samples lost to stalls or probe loss; return the surviving
+/// trace plus one (unmerged) gap per lost sample.
+fn censor_trace(
+    trace: BandwidthTrace,
+    schedule: &FaultSchedule,
+    probe_loss_prob: f64,
+    loss_seed: u64,
+    duration_s: f64,
+) -> (BandwidthTrace, Vec<TraceGap>) {
+    let interval = trace.interval;
+    let mut loss_rng = SimRng::new(loss_seed);
+    let mut kept = BandwidthTrace::new(interval);
+    let mut gaps = Vec::new();
+    for s in trace.samples {
+        let end = (s.t + interval).min(duration_s);
+        let midpoint = (s.t + end) / 2.0;
+        let cause = if schedule.stalled_at(0, midpoint) {
+            Some(GapCause::VmStall)
+        } else if probe_loss_prob > 0.0 && loss_rng.chance(probe_loss_prob) {
+            Some(GapCause::ProbeLoss)
+        } else {
+            None
+        };
+        match cause {
+            Some(cause) => gaps.push(TraceGap {
+                start_s: s.t,
+                end_s: end,
+                cause,
+            }),
+            None => kept.samples.push(s),
+        }
     }
+    (kept, gaps)
+}
+
+/// Merge adjacent same-cause gaps (a 40-second stall shows up as one
+/// gap, not four).
+fn merge_gaps(mut gaps: Vec<TraceGap>) -> Vec<TraceGap> {
+    gaps.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let mut merged: Vec<TraceGap> = Vec::with_capacity(gaps.len());
+    for g in gaps {
+        match merged.last_mut() {
+            Some(last) if last.cause == g.cause && g.start_s <= last.end_s + 1e-9 => {
+                last.end_s = last.end_s.max(g.end_s);
+            }
+            _ => merged.push(g),
+        }
+    }
+    merged
+}
+
+/// Count the summary intervals the pattern would have produced in
+/// `[from_s, to_s)` — the denominator for coverage accounting over a
+/// window that never ran (e.g. after a pair death). Mirrors
+/// [`StreamSim`]'s rule: an interval is produced iff the pattern was
+/// "on" at any fluid step inside it.
+fn expected_intervals(pattern: TrafficPattern, from_s: f64, to_s: f64, interval: f64, step: f64) -> usize {
+    let mut count = 0;
+    // A partial interval at `from_s` already produced a (truncated)
+    // sample in the run that ended there, so start at the next
+    // boundary; if `from_s` lands exactly on a boundary that interval
+    // never started and is counted.
+    let mut k = (from_s / interval).ceil() as u64;
+    loop {
+        let start = k as f64 * interval;
+        if start >= to_s {
+            break;
+        }
+        let end = (start + interval).min(to_s);
+        let mut t = start;
+        while t < end {
+            if pattern.is_on(t) {
+                count += 1;
+                break;
+            }
+            t += step;
+        }
+        k += 1;
+    }
+    count
 }
 
 /// Run all three paper patterns on a profile; returns results in
@@ -99,18 +295,35 @@ pub fn run_all_patterns(
     profile: &CloudProfile,
     duration_s: f64,
     seed: u64,
-) -> Vec<CampaignResult> {
+) -> Result<Vec<CampaignResult>, MeasureError> {
     TrafficPattern::ALL
         .iter()
         .map(|&p| run_campaign(profile, p, duration_s, seed))
         .collect()
 }
 
+/// A VM pair that died partway through a fleet campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairFailure {
+    /// Index of the pair within the fleet (its `derive_seed` label).
+    pub pair: usize,
+    /// Seconds into the campaign at which the pair died.
+    pub death_s: f64,
+    /// Whether the pair produced any usable samples before dying.
+    pub partial_data: bool,
+}
+
 /// Summary of a multi-pair fleet campaign.
 #[derive(Debug, Clone)]
 pub struct FleetResult {
-    /// Per-pair campaign results (one VM-pair incarnation each).
+    /// Per-pair campaign results (one VM-pair incarnation each). Pairs
+    /// that died mid-campaign appear here with their partial trace and
+    /// a [`GapCause::PairDeath`] gap, provided they produced at least
+    /// one sample; pairs that died before producing anything appear
+    /// only in `failed_pairs`.
     pub pairs: Vec<CampaignResult>,
+    /// Pairs that died mid-campaign, in pair order.
+    pub failed_pairs: Vec<PairFailure>,
     /// Summary over the per-pair *mean* bandwidths (spatial
     /// heterogeneity: pair-to-pair differences).
     pub across_pairs: Summary,
@@ -123,6 +336,11 @@ impl FleetResult {
     /// Spatial CoV: variation of mean bandwidth across pairs.
     pub fn across_pair_cov(&self) -> f64 {
         self.across_pairs.cov
+    }
+
+    /// Whether any pair died or any trace has gaps.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed_pairs.is_empty() || self.pairs.iter().any(|p| p.is_degraded())
     }
 }
 
@@ -138,25 +356,72 @@ pub fn run_fleet(
     duration_s: f64,
     n_pairs: usize,
     seed: u64,
-) -> FleetResult {
-    assert!(n_pairs >= 1);
-    let pairs: Vec<CampaignResult> = (0..n_pairs)
-        .map(|i| {
-            run_campaign(
-                profile,
-                pattern,
-                duration_s,
-                netsim::rng::derive_seed(seed, i as u64),
-            )
-        })
-        .collect();
+) -> Result<FleetResult, MeasureError> {
+    assert!(n_pairs >= 1, "fleet needs at least one pair");
+    let death_rate_per_s = profile.faults.pair_death_rate_per_hour / 3600.0;
+    let mut pairs = Vec::with_capacity(n_pairs);
+    let mut failed_pairs = Vec::new();
+    for i in 0..n_pairs {
+        let pair_seed = derive_seed(seed, i as u64);
+        // A pair's death time comes from its own derived stream so the
+        // surviving pairs' traces are unchanged by the death of others.
+        let death_s = if death_rate_per_s > 0.0 {
+            SimRng::new(derive_seed(pair_seed, LABEL_PAIR_DEATH)).exponential(death_rate_per_s)
+        } else {
+            f64::INFINITY
+        };
+        if death_s >= duration_s {
+            pairs.push(run_campaign(profile, pattern, duration_s, pair_seed)?);
+            continue;
+        }
+        // The pair dies mid-campaign: run the truncated stretch, then
+        // re-annotate the result against the *requested* duration.
+        match run_campaign(profile, pattern, death_s, pair_seed) {
+            Ok(mut r) => {
+                let interval = r.trace.interval;
+                let lost_after_death =
+                    expected_intervals(pattern, death_s, duration_s, interval, 0.1);
+                let expected_n = r.gap_summary.expected_n + lost_after_death;
+                r.duration_s = duration_s;
+                r.gaps.push(TraceGap {
+                    start_s: death_s,
+                    end_s: duration_s,
+                    cause: GapCause::PairDeath,
+                });
+                r.gaps = merge_gaps(std::mem::take(&mut r.gaps));
+                r.gap_summary = GapAwareSummary::from_samples(
+                    &r.trace.bandwidths(),
+                    expected_n,
+                    r.gaps.len(),
+                );
+                failed_pairs.push(PairFailure {
+                    pair: i,
+                    death_s,
+                    partial_data: true,
+                });
+                pairs.push(r);
+            }
+            Err(MeasureError::EmptyTrace) => {
+                failed_pairs.push(PairFailure {
+                    pair: i,
+                    death_s,
+                    partial_data: false,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if pairs.is_empty() {
+        return Err(MeasureError::AllPairsFailed { n_pairs });
+    }
     let means: Vec<f64> = pairs.iter().map(|p| p.mean_bandwidth_bps()).collect();
-    let mean_within = pairs.iter().map(|p| p.summary.cov).sum::<f64>() / n_pairs as f64;
-    FleetResult {
+    let mean_within = pairs.iter().map(|p| p.summary.cov).sum::<f64>() / pairs.len() as f64;
+    Ok(FleetResult {
         across_pairs: Summary::from_samples(&means),
         mean_within_pair_cov: mean_within,
         pairs,
-    }
+        failed_pairs,
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +432,7 @@ mod tests {
     #[test]
     fn hpccloud_campaign_matches_figure4_range() {
         let p = clouds::hpccloud::n_core(8);
-        let r = run_campaign(&p, TrafficPattern::FullSpeed, hours(12.0), 1);
+        let r = run_campaign(&p, TrafficPattern::FullSpeed, hours(12.0), 1).unwrap();
         assert!(r.summary.min > gbps(7.0), "min {}", r.summary.min);
         assert!(r.summary.max <= gbps(10.4) + 1.0);
         assert!(r.exhibits_variability());
@@ -179,7 +444,7 @@ mod tests {
         // Steady-state: full-speed ≈ 1 Gbps, 10-30 ≈ 4 Gbps (≈3-4×),
         // 5-30 ≈ 7 Gbps (≈7×).
         let p = clouds::ec2::c5_xlarge();
-        let rs = run_all_patterns(&p, hours(4.0), 2);
+        let rs = run_all_patterns(&p, hours(4.0), 2).unwrap();
         let full = rs[0].mean_bandwidth_bps();
         let ten = rs[1].mean_bandwidth_bps();
         let five = rs[2].mean_bandwidth_bps();
@@ -192,7 +457,7 @@ mod tests {
     fn gce_pattern_ordering_is_opposite_of_ec2() {
         // Figure 5: longer streams do BETTER on Google Cloud.
         let p = clouds::gce::n_core(8);
-        let rs = run_all_patterns(&p, hours(6.0), 3);
+        let rs = run_all_patterns(&p, hours(6.0), 3).unwrap();
         let full = rs[0].mean_bandwidth_bps();
         let five = rs[2].mean_bandwidth_bps();
         assert!(full > five, "full {full} vs 5-30 {five}");
@@ -205,9 +470,9 @@ mod tests {
     fn google_retransmissions_dominate() {
         // Figure 9: Amazon and HPCCloud negligible; Google common.
         let d = hours(2.0);
-        let ec2 = run_campaign(&clouds::ec2::c5_xlarge(), TrafficPattern::FullSpeed, d, 4);
-        let gce = run_campaign(&clouds::gce::n_core(8), TrafficPattern::FullSpeed, d, 4);
-        let hpc = run_campaign(&clouds::hpccloud::n_core(8), TrafficPattern::FullSpeed, d, 4);
+        let ec2 = run_campaign(&clouds::ec2::c5_xlarge(), TrafficPattern::FullSpeed, d, 4).unwrap();
+        let gce = run_campaign(&clouds::gce::n_core(8), TrafficPattern::FullSpeed, d, 4).unwrap();
+        let hpc = run_campaign(&clouds::hpccloud::n_core(8), TrafficPattern::FullSpeed, d, 4).unwrap();
         assert!(
             gce.total_retransmissions > 20 * ec2.total_retransmissions.max(1),
             "gce {} ec2 {}",
@@ -224,10 +489,12 @@ mod tests {
         // more than its duty-cycled patterns.
         let d = hours(6.0);
         let ec2: Vec<f64> = run_all_patterns(&clouds::ec2::c5_xlarge(), d, 5)
+            .unwrap()
             .iter()
             .map(|r| r.total_bits)
             .collect();
         let gce: Vec<f64> = run_all_patterns(&clouds::gce::n_core(8), d, 5)
+            .unwrap()
             .iter()
             .map(|r| r.total_bits)
             .collect();
@@ -240,7 +507,7 @@ mod tests {
     #[test]
     fn cost_accounting_matches_table3_scale() {
         let p = clouds::ec2::c5_xlarge();
-        let r = run_campaign(&p, TrafficPattern::FullSpeed, 3.0 * 7.0 * 86_400.0, 6);
+        let r = run_campaign(&p, TrafficPattern::FullSpeed, 3.0 * 7.0 * 86_400.0, 6).unwrap();
         let cost = r.cost_usd.unwrap();
         assert!((cost - 171.0).abs() < 10.0, "cost {cost}");
     }
@@ -250,7 +517,7 @@ mod tests {
         // HPCCloud pairs differ through contention episodes; within-
         // pair CoV should be non-trivial and across-pair means spread.
         let p = clouds::hpccloud::n_core(8);
-        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, hours(3.0), 6, 11);
+        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, hours(3.0), 6, 11).unwrap();
         assert_eq!(fleet.pairs.len(), 6);
         assert!(fleet.mean_within_pair_cov > 0.002, "{}", fleet.mean_within_pair_cov);
         assert!(fleet.across_pair_cov() >= 0.0);
@@ -263,7 +530,7 @@ mod tests {
     #[test]
     fn fleet_pairs_use_distinct_incarnations() {
         let p = clouds::ec2::c5_xlarge();
-        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, 1800.0, 4, 3);
+        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, 1800.0, 4, 3).unwrap();
         // Bucket budgets differ per pair, so depletion times differ, so
         // mean bandwidths over 30 min differ.
         let means: Vec<f64> = fleet.pairs.iter().map(|r| r.mean_bandwidth_bps()).collect();
@@ -274,8 +541,93 @@ mod tests {
     #[test]
     fn campaign_is_deterministic() {
         let p = clouds::gce::n_core(4);
-        let a = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7);
-        let b = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7);
+        let a = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7).unwrap();
+        let b = run_campaign(&p, TrafficPattern::TEN_THIRTY, 3600.0, 7).unwrap();
         assert_eq!(a.trace.samples, b.trace.samples);
+    }
+
+    #[test]
+    fn faulty_campaign_is_gap_annotated_and_reproducible() {
+        let p = clouds::hpccloud::n_core(8).with_reference_faults();
+        let a = run_campaign(&p, TrafficPattern::FullSpeed, hours(24.0), 42).unwrap();
+        let b = run_campaign(&p, TrafficPattern::FullSpeed, hours(24.0), 42).unwrap();
+        // Bit-for-bit reproducible from the seed, faults included.
+        assert_eq!(a.trace.samples, b.trace.samples);
+        assert_eq!(a.gaps, b.gaps);
+        assert_eq!(a.gap_summary, b.gap_summary);
+        // A 24-hour campaign at reference rates loses *some* data.
+        assert!(a.is_degraded(), "no faults hit in 24 h?");
+        assert!(!a.gaps.is_empty());
+        assert!(a.coverage() < 1.0 && a.coverage() > 0.9, "coverage {}", a.coverage());
+        assert!(a.gapped_time_s() > 0.0);
+        // Gaps are ordered, non-overlapping, and inside the campaign.
+        for g in &a.gaps {
+            assert!(g.start_s < g.end_s && g.end_s <= a.duration_s + 1e-9);
+        }
+        for w in a.gaps.windows(2) {
+            assert!(w[0].end_s <= w[1].start_s + 1e-9 || w[0].cause != w[1].cause);
+        }
+        // Accounting adds up: surviving + lost = expected.
+        assert_eq!(a.gap_summary.observed_n, a.trace.samples.len());
+        assert!(a.gap_summary.expected_n > a.gap_summary.observed_n);
+    }
+
+    #[test]
+    fn stall_gaps_censor_the_zero_bandwidth_intervals() {
+        // A pure-stall config: every gap must be a VmStall, and the
+        // surviving samples must not contain the stalled near-zero
+        // intervals that the raw stream recorded.
+        let mut p = clouds::hpccloud::n_core(8);
+        p.faults.stall_rate_per_hour = 2.0;
+        p.faults.stall_mean_s = 60.0;
+        let r = run_campaign(&p, TrafficPattern::FullSpeed, hours(12.0), 9).unwrap();
+        assert!(r.is_degraded());
+        assert!(r.gaps.iter().all(|g| g.cause == GapCause::VmStall));
+        // Healthy HPCCloud intervals sit near 10 Gbps; a stalled one
+        // would read ~0.
+        assert!(r.summary.min > gbps(5.0), "stalled sample leaked: {}", r.summary.min);
+    }
+
+    #[test]
+    fn fleet_with_pair_deaths_returns_partial_results() {
+        let mut p = clouds::hpccloud::n_core(8).with_reference_faults();
+        p.faults.pair_death_rate_per_hour = 0.5; // mean pair life: 2 h
+        let fleet = run_fleet(&p, TrafficPattern::FullSpeed, hours(6.0), 8, 5).unwrap();
+        assert!(!fleet.failed_pairs.is_empty(), "no pair died in 6 h at rate 0.5/h");
+        assert!(fleet.is_degraded());
+        for f in &fleet.failed_pairs {
+            assert!(f.death_s < hours(6.0));
+        }
+        // Partial pairs carry a PairDeath gap reaching the requested end.
+        let partial: Vec<_> = fleet.failed_pairs.iter().filter(|f| f.partial_data).collect();
+        assert!(!partial.is_empty());
+        for r in &fleet.pairs {
+            assert_eq!(r.duration_s, hours(6.0));
+            if let Some(g) = r.gaps.iter().find(|g| g.cause == GapCause::PairDeath) {
+                assert!((g.end_s - hours(6.0)).abs() < 1e-6);
+                assert!(r.coverage() < 1.0);
+            }
+        }
+        // Reproducible end to end.
+        let again = run_fleet(&p, TrafficPattern::FullSpeed, hours(6.0), 8, 5).unwrap();
+        assert_eq!(fleet.failed_pairs, again.failed_pairs);
+        assert_eq!(fleet.across_pairs, again.across_pairs);
+    }
+
+    #[test]
+    fn expected_intervals_counts_duty_cycles() {
+        // Full speed: every 10 s interval in [100, 200) → 10.
+        assert_eq!(
+            expected_intervals(TrafficPattern::FullSpeed, 100.0, 200.0, 10.0, 0.1),
+            10
+        );
+        // Mid-interval start: the partial interval already reported.
+        assert_eq!(
+            expected_intervals(TrafficPattern::FullSpeed, 95.0, 200.0, 10.0, 0.1),
+            10
+        );
+        // 5-on/35-off: one interval in four carries data.
+        let sparse = TrafficPattern::DutyCycle { on_s: 5.0, off_s: 35.0 };
+        assert_eq!(expected_intervals(sparse, 0.0, 400.0, 10.0, 0.1), 10);
     }
 }

@@ -1,0 +1,67 @@
+//! Typed errors for the measurement harness.
+//!
+//! Week-scale campaigns fail in mundane ways — probes are lost, VMs
+//! die, traces come back empty — and a harness that panics on any of
+//! them loses the surviving six days of data. Every fallible entry
+//! point in this crate returns [`MeasureError`] instead.
+
+use std::fmt;
+
+/// Why a measurement operation could not produce a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureError {
+    /// The campaign produced no bandwidth samples at all (duration too
+    /// short for the pattern, or every sample was lost to faults).
+    EmptyTrace,
+    /// Every probe attempt was ruined by a fault; carries the number of
+    /// attempts made before giving up.
+    ProbeFailed {
+        /// Attempts made (including the first, non-retry one).
+        attempts: u32,
+    },
+    /// Every pair in a fleet campaign died before producing data.
+    AllPairsFailed {
+        /// Pairs the fleet started with.
+        n_pairs: usize,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::EmptyTrace => {
+                write!(f, "campaign produced no samples (duration too short for pattern, or all samples lost to faults)")
+            }
+            MeasureError::ProbeFailed { attempts } => {
+                write!(f, "token-bucket probe failed after {attempts} attempts")
+            }
+            MeasureError::AllPairsFailed { n_pairs } => {
+                write!(f, "all {n_pairs} fleet pairs died before producing data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MeasureError::EmptyTrace.to_string().contains("no samples"));
+        assert!(MeasureError::ProbeFailed { attempts: 5 }
+            .to_string()
+            .contains("5 attempts"));
+        assert!(MeasureError::AllPairsFailed { n_pairs: 4 }
+            .to_string()
+            .contains("4 fleet pairs"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(MeasureError::EmptyTrace);
+        assert!(e.source().is_none());
+    }
+}

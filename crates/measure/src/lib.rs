@@ -19,8 +19,13 @@
 //! * [`experiment`] — a generic repetition runner implementing the
 //!   paper's protocol recommendations: repetitions, randomized
 //!   ordering, rests, fresh environments.
+//! * [`error`] — typed failure modes ([`MeasureError`]): week-scale
+//!   campaigns lose probes and VMs, and the harness degrades gracefully
+//!   (gap-annotated traces, partial fleet results, probe retry with
+//!   exponential backoff) instead of panicking.
 
 pub mod campaign;
+pub mod error;
 pub mod experiment;
 pub mod fingerprint;
 pub mod latency;
@@ -28,8 +33,14 @@ pub mod pcap;
 pub mod probe;
 pub mod rest;
 
-pub use campaign::{run_campaign, run_fleet, CampaignResult, FleetResult};
+pub use campaign::{
+    run_campaign, run_fleet, CampaignResult, FleetResult, GapCause, PairFailure, TraceGap,
+};
+pub use error::MeasureError;
 pub use experiment::{ExperimentPlan, ExperimentReport};
 pub use fingerprint::{DriftFinding, Fingerprint};
-pub use probe::{probe_instance_type, probe_token_bucket, BucketEstimate};
+pub use probe::{
+    probe_instance_type, probe_token_bucket, probe_with_retry, BucketEstimate, ProbeOutcome,
+    RetryPolicy,
+};
 pub use rest::RestPlanner;

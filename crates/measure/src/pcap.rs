@@ -62,7 +62,10 @@ pub struct CaptureAnalysis {
 /// Capture `samples_per_second` segments per second for `duration_s`
 /// on a full-speed stream over the VM.
 pub fn capture(vm: &mut Vm, duration_s: f64, write_bytes: f64, samples_per_second: f64) -> Capture {
-    assert!(duration_s > 0.0 && samples_per_second > 0.0);
+    assert!(
+            duration_s > 0.0 && samples_per_second > 0.0,
+            "duration and sample rate must be positive"
+        );
     let dt = 0.1;
     let steps = (duration_s / dt).round() as usize;
     let per_step = samples_per_second * dt;

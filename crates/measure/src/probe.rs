@@ -7,9 +7,15 @@
 //! observation that "these parameters are not always consistent for
 //! multiple incarnations of the same instance type".
 
+use crate::error::MeasureError;
 use clouds::CloudProfile;
+use netsim::faults::{FaultKind, FaultSchedule};
 use netsim::pattern::TrafficPattern;
+use netsim::rng::derive_seed;
 use netsim::tcp::{StreamConfig, StreamSim};
+
+/// Seed-derivation label for per-attempt fault timelines.
+const LABEL_PROBE_FAULTS: u64 = 0x9F17;
 
 /// Estimated token-bucket parameters from one probe run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +81,95 @@ pub fn probe_token_bucket(
         high_bps,
         low_bps,
         budget_bits: time_to_empty_s * (high_bps - low_bps),
+    })
+}
+
+/// Retry schedule for fault-tolerant probing: exponential backoff, the
+/// standard remedy for transient measurement failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (including the first).
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry, seconds.
+    pub base_backoff_s: f64,
+    /// Backoff multiplier per retry (2.0 = classic doubling).
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_s: 30.0,
+            multiplier: 2.0,
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// The estimate (`None` when the probe ran cleanly but observed no
+    /// throttling drop — not a token-bucket cloud, or the bucket
+    /// outlasted the probe; that is a *result*, not a failure).
+    pub estimate: Option<BucketEstimate>,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total simulated backoff time spent waiting between attempts.
+    pub backoff_spent_s: f64,
+}
+
+/// Probe with retry-and-backoff under the profile's fault model.
+///
+/// An attempt is *ruined* when a VM stall hits the probe window — an
+/// iperf stream that resets mid-probe yields garbage, so the paper's
+/// methodology would discard and redo it. Each retry re-instantiates
+/// the VM under a seed derived from the attempt number (a fresh
+/// incarnation, as redoing a real probe would allocate a fresh VM) and
+/// waits exponentially longer. Returns
+/// [`MeasureError::ProbeFailed`] only when every attempt was ruined.
+///
+/// With the profile's faults off this is exactly one clean
+/// [`probe_token_bucket`] call.
+pub fn probe_with_retry(
+    profile: &CloudProfile,
+    seed: u64,
+    max_duration_s: f64,
+    policy: RetryPolicy,
+) -> Result<ProbeOutcome, MeasureError> {
+    assert!(policy.max_attempts >= 1, "need at least one attempt");
+    let mut backoff_spent_s = 0.0;
+    let mut next_backoff_s = policy.base_backoff_s;
+    for attempt in 1..=policy.max_attempts {
+        let attempt_seed = derive_seed(seed, attempt as u64 - 1);
+        let ruined = if profile.faults.is_off() {
+            false
+        } else {
+            let schedule = FaultSchedule::generate(
+                &profile.faults,
+                1,
+                max_duration_s,
+                derive_seed(attempt_seed, LABEL_PROBE_FAULTS),
+            );
+            schedule
+                .timeline()
+                .iter()
+                .any(|e| e.kind == FaultKind::VmStall)
+        };
+        if !ruined {
+            return Ok(ProbeOutcome {
+                estimate: probe_token_bucket(profile, attempt_seed, max_duration_s),
+                attempts: attempt,
+                backoff_spent_s,
+            });
+        }
+        if attempt < policy.max_attempts {
+            backoff_spent_s += next_backoff_s;
+            next_backoff_s *= policy.multiplier;
+        }
+    }
+    Err(MeasureError::ProbeFailed {
+        attempts: policy.max_attempts,
     })
 }
 
@@ -152,6 +247,60 @@ mod tests {
         assert!(probe_token_bucket(&gce, 3, 1200.0).is_none());
         let hpc = clouds::hpccloud::n_core(8);
         assert!(probe_token_bucket(&hpc, 3, 1200.0).is_none());
+    }
+
+    #[test]
+    fn retry_with_faults_off_is_one_clean_probe() {
+        let p = clouds::ec2::c5_xlarge();
+        let out = probe_with_retry(&p, 1, 2000.0, RetryPolicy::default()).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.backoff_spent_s, 0.0);
+        // Attempt 1 uses derive_seed(seed, 0), so it matches a direct
+        // probe under that derived seed.
+        let direct = probe_token_bucket(&p, netsim::rng::derive_seed(1, 0), 2000.0);
+        assert_eq!(out.estimate, direct);
+        assert!(out.estimate.is_some());
+    }
+
+    #[test]
+    fn retry_survives_ruined_attempts() {
+        // Stall-heavy faults: most attempts are ruined, but across
+        // seeds the retry loop should eventually land a clean window
+        // far more often than a single attempt would.
+        let mut p = clouds::ec2::c5_xlarge().with_reference_faults();
+        p.faults.stall_rate_per_hour = 1.0; // ~0.56 expected stalls per probe
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        };
+        let mut clean = 0;
+        let mut retried = 0;
+        for seed in 0..30 {
+            match probe_with_retry(&p, seed, 2000.0, policy) {
+                Ok(out) => {
+                    clean += 1;
+                    if out.attempts > 1 {
+                        retried += 1;
+                        assert!(out.backoff_spent_s >= policy.base_backoff_s);
+                    }
+                }
+                Err(MeasureError::ProbeFailed { attempts }) => {
+                    assert_eq!(attempts, 8);
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(clean >= 25, "only {clean}/30 probes succeeded");
+        assert!(retried >= 5, "only {retried} probes needed retries");
+    }
+
+    #[test]
+    fn retry_is_deterministic() {
+        let p = clouds::ec2::c5_xlarge().with_reference_faults();
+        let policy = RetryPolicy::default();
+        let a = probe_with_retry(&p, 9, 2000.0, policy);
+        let b = probe_with_retry(&p, 9, 2000.0, policy);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl RestPlanner {
     /// so that at least `target_fraction` of the full budget is
     /// available again. Returns 0 when already satisfied.
     pub fn rest_needed_s(&self, consumed_bits: f64, target_fraction: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&target_fraction));
+        assert!(
+            (0.0..=1.0).contains(&target_fraction),
+            "target fraction must be within [0, 1]"
+        );
         if !self.has_bucket() {
             return 0.0;
         }

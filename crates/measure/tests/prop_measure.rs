@@ -1,6 +1,7 @@
 //! Property-based tests over the measurement harness.
 
 use measure::{probe_token_bucket, run_campaign, RestPlanner};
+use netsim::faults::FaultConfig;
 use netsim::TrafficPattern;
 use proplite::prelude::*;
 
@@ -23,7 +24,7 @@ prop_cases! {
             _ => clouds::hpccloud::n_core(8),
         };
         let pattern = TrafficPattern::ALL[pattern_idx];
-        let res = run_campaign(&profile, pattern, minutes as f64 * 60.0, seed);
+        let res = run_campaign(&profile, pattern, minutes as f64 * 60.0, seed).unwrap();
         prop_assert!(res.total_bits > 0.0);
         prop_assert!(res.summary.max <= 21e9);
         prop_assert!(res.summary.min >= 0.0);
@@ -64,6 +65,64 @@ prop_cases! {
         prop_assert!(p.rest_needed_s(hi * 1e9, frac) >= p.rest_needed_s(lo * 1e9, frac));
         prop_assert!(p.rest_needed_s(c1 * 1e9, 1.0) >= p.rest_needed_s(c1 * 1e9, frac));
         prop_assert!(p.rest_needed_s(c1 * 1e9, frac) >= 0.0);
+    }
+
+    /// Faulty campaigns are bit-for-bit reproducible from the seed:
+    /// same seed → identical surviving trace, gaps, and accounting.
+    #[test]
+    fn faulty_campaign_is_deterministic(
+        seed in 0u64..200,
+        which in 0usize..3,
+        hours in 2u64..12,
+    ) {
+        let profile = match which {
+            0 => clouds::ec2::c5_xlarge(),
+            1 => clouds::gce::n_core(8),
+            _ => clouds::hpccloud::n_core(8),
+        }
+        .with_reference_faults();
+        let duration = hours as f64 * 3600.0;
+        let a = run_campaign(&profile, TrafficPattern::FullSpeed, duration, seed).unwrap();
+        let b = run_campaign(&profile, TrafficPattern::FullSpeed, duration, seed).unwrap();
+        prop_assert!(a.trace.samples == b.trace.samples);
+        prop_assert!(a.gaps == b.gaps);
+        prop_assert!(a.gap_summary == b.gap_summary);
+        // Accounting invariants: the expected count covers every
+        // surviving sample, coverage is a fraction, gaps are ordered
+        // and inside the campaign window.
+        prop_assert!(a.gap_summary.expected_n >= a.gap_summary.observed_n);
+        prop_assert!(a.gap_summary.observed_n == a.trace.samples.len());
+        prop_assert!((0.0..=1.0).contains(&a.coverage()));
+        for g in &a.gaps {
+            prop_assert!(g.start_s < g.end_s && g.end_s <= duration + 1e-9);
+        }
+    }
+
+    /// A fault config whose rates are all zero leaves the campaign
+    /// byte-identical to the stock no-fault path, whatever the other
+    /// knobs say.
+    #[test]
+    fn zero_rate_faults_are_byte_identical_to_no_faults(
+        seed in 0u64..200,
+        stall_mean in 0.0f64..300.0,
+        degrade_mean in 0.0f64..300.0,
+        loss_frac in 0.0f64..1.0,
+        minutes in 20u64..90,
+    ) {
+        let stock = clouds::hpccloud::n_core(8);
+        let zeroed = stock.clone().with_faults(FaultConfig {
+            stall_mean_s: stall_mean,
+            degrade_mean_s: degrade_mean,
+            loss_frac,
+            ..FaultConfig::NONE
+        });
+        let duration = minutes as f64 * 60.0;
+        let a = run_campaign(&stock, TrafficPattern::TEN_THIRTY, duration, seed).unwrap();
+        let b = run_campaign(&zeroed, TrafficPattern::TEN_THIRTY, duration, seed).unwrap();
+        prop_assert!(a.trace.samples == b.trace.samples);
+        prop_assert!(a.summary == b.summary);
+        prop_assert!(b.gaps.is_empty());
+        prop_assert!(b.coverage() == 1.0 && !b.is_degraded());
     }
 
     /// Fingerprints always match themselves and drift symmetrically in

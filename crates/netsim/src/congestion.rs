@@ -99,7 +99,7 @@ pub fn run_reno<S: Shaper>(
     cfg: &RenoConfig,
     duration_s: f64,
 ) -> RenoResult {
-    assert!(duration_s > 0.0);
+    assert!(duration_s > 0.0, "duration must be positive");
     let seg_bits = cfg.segment_bytes * 8.0;
     let mut cwnd = cfg.initial_cwnd;
     let mut ssthresh = cfg.initial_ssthresh;
@@ -170,7 +170,10 @@ pub fn run_reno_multi<S: Shaper>(
     n_flows: usize,
     duration_s: f64,
 ) -> (Vec<f64>, Vec<RenoRound>) {
-    assert!(n_flows >= 1 && duration_s > 0.0);
+    assert!(
+        n_flows >= 1 && duration_s > 0.0,
+        "need at least one flow and a positive duration"
+    );
     let seg_bits = cfg.segment_bytes * 8.0;
     let mut cwnd = vec![cfg.initial_cwnd; n_flows];
     let mut ssthresh = vec![cfg.initial_ssthresh; n_flows];

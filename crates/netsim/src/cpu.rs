@@ -57,9 +57,12 @@ impl CpuCredits {
     /// * `initial_credits` / `cap_credits` — in vCPU-minutes (the AWS
     ///   unit: 1 credit = 1 vCPU-minute at 100%).
     pub fn new(vcpus: u32, baseline: f64, initial_credits: f64, cap_credits: f64) -> Self {
-        assert!(vcpus >= 1);
-        assert!(baseline > 0.0 && baseline <= 1.0);
-        assert!(initial_credits >= 0.0 && cap_credits >= initial_credits);
+        assert!(vcpus >= 1, "need at least one vCPU");
+        assert!(baseline > 0.0 && baseline <= 1.0, "baseline must be in (0, 1]");
+        assert!(
+            initial_credits >= 0.0 && cap_credits >= initial_credits,
+            "credit balance must fit under the cap"
+        );
         CpuCredits {
             vcpus: vcpus as f64,
             baseline,
@@ -100,7 +103,7 @@ impl CpuCredits {
 
     /// Advance `dt` seconds of idleness (credits accrue).
     pub fn idle(&mut self, dt: f64) {
-        assert!(dt >= 0.0);
+        assert!(dt >= 0.0, "time cannot run backwards");
         if self.baseline >= 1.0 {
             return;
         }
@@ -115,7 +118,7 @@ impl CpuCredits {
     /// balance hits zero the instance drops to the baseline fraction
     /// and the remaining work takes `1/baseline` times longer.
     pub fn run(&mut self, work_s: f64) -> f64 {
-        assert!(work_s >= 0.0);
+        assert!(work_s >= 0.0, "work time must be non-negative");
         if self.baseline >= 1.0 {
             return work_s;
         }

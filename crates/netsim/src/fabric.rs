@@ -10,6 +10,7 @@
 //! slows exactly the flows that cross it, which is how the paper's
 //! stragglers arise (Figure 18).
 
+use crate::faults::FaultSchedule;
 use crate::rng::SimRng;
 use crate::shaper::Shaper;
 use std::collections::BTreeMap;
@@ -75,6 +76,9 @@ pub struct Fabric<S> {
     /// (models an oversubscribed datacenter core; `None` = full
     /// bisection bandwidth, the default).
     core_capacity_bps: Option<f64>,
+    /// Optional fault timeline: faulted nodes transmit and receive at
+    /// zero/degraded rate for the fault window (`None` = no faults).
+    faults: Option<FaultSchedule>,
 }
 
 impl<S: Shaper> Default for Fabric<S> {
@@ -92,14 +96,50 @@ impl<S: Shaper> Fabric<S> {
             next_flow: 0,
             now_s: 0.0,
             core_capacity_bps: None,
+            faults: None,
         }
+    }
+
+    /// Attach a fault schedule: from now on, [`Fabric::step`] scales
+    /// each node's egress and ingress by the schedule's rate factor at
+    /// the current simulated time (0.0 while a VM stall is active).
+    /// Shapers of faulted nodes still advance — token buckets keep
+    /// refilling while the VM is paused, exactly as on a real cloud.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.faults = Some(schedule);
+    }
+
+    /// Detach the fault schedule (all nodes healthy again).
+    pub fn clear_fault_schedule(&mut self) {
+        self.faults = None;
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Fault rate factor of node `n` at the current simulated time
+    /// (1.0 when healthy or when no schedule is attached).
+    pub fn node_fault_factor(&self, n: NodeId) -> f64 {
+        match &self.faults {
+            Some(s) => s.factor_at(n, self.now_s),
+            None => 1.0,
+        }
+    }
+
+    /// Whether node `n` is inside a VM-stall episode right now.
+    pub fn node_stalled(&self, n: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|s| s.stalled_at(n, self.now_s))
     }
 
     /// Constrain the fabric core: the sum of all flow rates may not
     /// exceed `bps` (oversubscription). Pass `f64::INFINITY`-like
     /// removal via [`Fabric::clear_core_capacity`].
     pub fn set_core_capacity(&mut self, bps: f64) {
-        assert!(bps > 0.0);
+        assert!(bps > 0.0, "core capacity must be positive");
         self.core_capacity_bps = Some(bps);
     }
 
@@ -136,9 +176,12 @@ impl<S: Shaper> Fabric<S> {
 
     /// Start a transfer; completion is reported by [`Fabric::step`].
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
-        assert!(spec.src < self.nodes.len() && spec.dst < self.nodes.len());
+        assert!(
+            spec.src < self.nodes.len() && spec.dst < self.nodes.len(),
+            "flow endpoints must be fabric nodes"
+        );
         assert!(spec.src != spec.dst, "loopback flows bypass the network");
-        assert!(spec.bits >= 0.0);
+        assert!(spec.bits >= 0.0, "flow size must be non-negative");
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         self.flows.insert(
@@ -191,13 +234,33 @@ impl<S: Shaper> Fabric<S> {
         let mut frozen = vec![false; ids.len()];
 
         // Residual capacity per resource: egress, ingress, and the
-        // (optional) shared core.
+        // (optional) shared core. Fault episodes scale a node's link in
+        // both directions: a stalled VM neither sends nor receives, a
+        // degraded link is degraded for traffic either way.
         let mut egress: Vec<f64> = self
             .nodes
             .iter()
-            .map(|n| n.shaper.rate_hint(self.now_s).max(0.0))
+            .enumerate()
+            .map(|(v, n)| {
+                let factor = match &self.faults {
+                    Some(s) => s.factor_at(v, self.now_s),
+                    None => 1.0,
+                };
+                n.shaper.rate_hint(self.now_s).max(0.0) * factor
+            })
             .collect();
-        let mut ingress: Vec<f64> = self.nodes.iter().map(|n| n.ingress_cap_bps).collect();
+        let mut ingress: Vec<f64> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(v, n)| {
+                let factor = match &self.faults {
+                    Some(s) => s.factor_at(v, self.now_s),
+                    None => 1.0,
+                };
+                n.ingress_cap_bps * factor
+            })
+            .collect();
         let mut core = self.core_capacity_bps;
 
         loop {
@@ -288,7 +351,7 @@ impl<S: Shaper> Fabric<S> {
     /// Advance the fabric by `dt` seconds. Returns the flows that
     /// completed during the step, in id order.
     pub fn step(&mut self, dt: f64) -> Vec<FlowId> {
-        assert!(dt > 0.0);
+        assert!(dt > 0.0, "step must be positive");
         let rates = self.compute_rates();
 
         // Aggregate per-node egress demand.
@@ -376,7 +439,10 @@ pub struct CrossTraffic {
 impl CrossTraffic {
     /// Create a cross-traffic source.
     pub fn new(arrivals_per_s: f64, mean_flow_bits: f64, flow_rate_cap_bps: f64, seed: u64) -> Self {
-        assert!(arrivals_per_s >= 0.0 && mean_flow_bits > 0.0 && flow_rate_cap_bps > 0.0);
+        assert!(
+            arrivals_per_s >= 0.0 && mean_flow_bits > 0.0 && flow_rate_cap_bps > 0.0,
+            "cross-traffic parameters must be positive"
+        );
         CrossTraffic {
             arrivals_per_s,
             mean_flow_bits,
@@ -418,6 +484,84 @@ mod tests {
             f.add_node(StaticShaper::new(rate), rate);
         }
         f
+    }
+
+    #[test]
+    fn stalled_node_transmits_nothing_then_recovers() {
+        use crate::faults::{FaultEpisode, FaultKind, FaultSchedule};
+        let mut f = static_fabric(2, gbps(10.0));
+        f.set_fault_schedule(FaultSchedule::from_episodes(
+            2,
+            100.0,
+            [FaultEpisode {
+                node: 0,
+                start_s: 1.0,
+                end_s: 3.0,
+                kind: FaultKind::VmStall,
+                rate_factor: 0.0,
+            }],
+        ));
+        let id = f.start_flow(FlowSpec::new(0, 1, gbps(10.0) * 10.0));
+        // t=0: healthy, full rate.
+        f.step(1.0);
+        assert!((f.flow_last_rate(id).unwrap() - gbps(10.0)).abs() < 1.0);
+        // t=1 and t=2: stalled, nothing moves.
+        f.step(1.0);
+        assert_eq!(f.flow_last_rate(id).unwrap(), 0.0);
+        assert!(f.node_stalled(0));
+        assert_eq!(f.node_fault_factor(0), 0.0);
+        f.step(1.0);
+        assert_eq!(f.flow_last_rate(id).unwrap(), 0.0);
+        // t=3: recovered.
+        f.step(1.0);
+        assert!((f.flow_last_rate(id).unwrap() - gbps(10.0)).abs() < 1.0);
+        assert!(!f.node_stalled(0));
+    }
+
+    #[test]
+    fn degraded_node_transmits_at_reduced_rate() {
+        use crate::faults::{FaultEpisode, FaultKind, FaultSchedule};
+        let mut f = static_fabric(2, gbps(10.0));
+        f.set_fault_schedule(FaultSchedule::from_episodes(
+            2,
+            100.0,
+            [FaultEpisode {
+                node: 1,
+                start_s: 0.0,
+                end_s: 50.0,
+                kind: FaultKind::LinkDegrade,
+                rate_factor: 0.25,
+            }],
+        ));
+        // Flow *into* the degraded node: ingress is scaled too.
+        let id = f.start_flow(FlowSpec::new(0, 1, gbps(10.0) * 100.0));
+        f.step(1.0);
+        assert!((f.flow_last_rate(id).unwrap() - gbps(2.5)).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_no_schedule() {
+        use crate::faults::{FaultConfig, FaultSchedule};
+        let run = |with_sched: bool| {
+            let mut f = static_fabric(3, gbps(10.0));
+            if with_sched {
+                f.set_fault_schedule(FaultSchedule::generate(
+                    &FaultConfig::NONE,
+                    3,
+                    1000.0,
+                    77,
+                ));
+            }
+            f.start_flow(FlowSpec::new(0, 1, gbit(40.0)));
+            f.start_flow(FlowSpec::new(2, 1, gbit(15.0)));
+            let mut history = Vec::new();
+            for _ in 0..20 {
+                f.step(0.5);
+                history.push((f.node_last_tx_bits(0), f.node_last_tx_bits(2)));
+            }
+            history
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

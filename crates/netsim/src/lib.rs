@@ -24,6 +24,9 @@
 //! * [`fabric`] — a multi-node fluid-flow fabric with max-min fair
 //!   bandwidth sharing, used by the `bigdata` crate to run simulated
 //!   Spark jobs whose shuffles interact with per-node token buckets.
+//! * [`faults`] — a seed-deterministic fault layer (VM stalls, link
+//!   degradation, loss bursts) that threads into the fabric and into
+//!   single-endpoint campaigns via [`faults::FaultInjector`].
 //!
 //! The simulator is **fully deterministic**: all randomness flows from
 //! explicit seeds through [`rng::SimRng`], and there is no global state
@@ -47,6 +50,7 @@ pub mod congestion;
 pub mod cpu;
 pub mod events;
 pub mod fabric;
+pub mod faults;
 pub mod nic;
 pub mod pattern;
 pub mod rng;
@@ -56,6 +60,7 @@ pub mod trace;
 pub mod units;
 
 pub use fabric::{Fabric, FlowId, FlowSpec, NodeId};
+pub use faults::{FaultConfig, FaultEpisode, FaultInjector, FaultKind, FaultSchedule};
 pub use nic::{NicModel, PacketOutcome};
 pub use pattern::TrafficPattern;
 pub use rng::SimRng;

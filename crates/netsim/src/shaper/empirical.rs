@@ -28,7 +28,7 @@ impl QuantileDist {
     /// or values not non-decreasing in probability.
     pub fn new(mut points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two quantile points");
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         for w in points.windows(2) {
             assert!(
                 w[1].1 >= w[0].1,
@@ -111,7 +111,7 @@ impl EmpiricalShaper {
     /// Create a shaper sampling `dist` (values in bits/s) every
     /// `resample_interval_s` seconds.
     pub fn new(dist: QuantileDist, resample_interval_s: f64, seed: u64) -> Self {
-        assert!(resample_interval_s > 0.0);
+        assert!(resample_interval_s > 0.0, "resample interval must be positive");
         let mut rng = SimRng::new(seed);
         let current = dist.sample(&mut rng);
         EmpiricalShaper {
@@ -181,7 +181,7 @@ mod tests {
         let mut rng = SimRng::new(42);
         let mut samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&s| (100e6..=900e6).contains(&s)));
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let med = samples[samples.len() / 2];
         assert!((med - 500e6).abs() < 15e6, "median {med}");
     }

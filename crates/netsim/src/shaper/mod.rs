@@ -71,7 +71,7 @@ pub struct StaticShaper {
 impl StaticShaper {
     /// A shaper that always admits `rate_bps`.
     pub fn new(rate_bps: f64) -> Self {
-        assert!(rate_bps >= 0.0);
+        assert!(rate_bps >= 0.0, "rate must be non-negative");
         StaticShaper { rate_bps }
     }
 }

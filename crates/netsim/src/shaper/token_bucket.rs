@@ -75,9 +75,15 @@ impl TokenBucket {
         low_rate_bps: f64,
         refill_bps: f64,
     ) -> Self {
-        assert!(initial_budget_bits >= 0.0 && capacity_bits >= 0.0);
+        assert!(
+            initial_budget_bits >= 0.0 && capacity_bits >= 0.0,
+            "budget and capacity must be non-negative"
+        );
         assert!(high_rate_bps >= low_rate_bps, "high rate must be >= low rate");
-        assert!(low_rate_bps >= 0.0 && refill_bps >= 0.0);
+        assert!(
+            low_rate_bps >= 0.0 && refill_bps >= 0.0,
+            "rates must be non-negative"
+        );
         assert!(
             (low_rate_bps - refill_bps).abs() <= 0.5 * low_rate_bps.max(refill_bps).max(1.0),
             "low rate and refill rate describe the same mechanism and must be close"
@@ -105,7 +111,7 @@ impl TokenBucket {
 
     /// Set a faster refill rate applied only while the VM is idle.
     pub fn with_idle_refill(mut self, idle_refill_bps: f64) -> Self {
-        assert!(idle_refill_bps >= 0.0);
+        assert!(idle_refill_bps >= 0.0, "idle refill rate must be non-negative");
         self.idle_refill_bps = idle_refill_bps;
         self
     }

@@ -59,7 +59,7 @@ impl StreamConfig {
 
     /// Set the fluid step.
     pub fn with_step(mut self, step_s: f64) -> Self {
-        assert!(step_s > 0.0);
+        assert!(step_s > 0.0, "step must be positive");
         self.step_s = step_s;
         self
     }
@@ -85,7 +85,10 @@ impl StreamSim {
     /// partially-idle intervals report the average rate *while
     /// transmitting*, matching how the paper's box plots are built.
     pub fn run<S: Shaper>(shaper: &mut S, nic: &mut NicModel, cfg: &StreamConfig) -> StreamResult {
-        assert!(cfg.step_s > 0.0 && cfg.summary_interval_s >= cfg.step_s);
+        assert!(
+            cfg.step_s > 0.0 && cfg.summary_interval_s >= cfg.step_s,
+            "summary interval must cover at least one step"
+        );
         let mut bandwidth = BandwidthTrace::new(cfg.summary_interval_s);
         let mut rtt = RttTrace::default();
 

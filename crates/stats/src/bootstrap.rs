@@ -39,8 +39,8 @@ where
     F: Fn(&[f64]) -> f64,
 {
     assert!(!samples.is_empty(), "bootstrap of empty sample");
-    assert!(resamples >= 2);
-    assert!(conf > 0.0 && conf < 1.0);
+    assert!(resamples >= 2, "need at least two resamples");
+    assert!(conf > 0.0 && conf < 1.0, "confidence must be in (0, 1)");
     let mut rng = SimRng::new(seed);
     let n = samples.len();
     let mut replicates = Vec::with_capacity(resamples);
@@ -51,7 +51,7 @@ where
         }
         replicates.push(statistic(&buf));
     }
-    replicates.sort_by(|a, b| a.partial_cmp(b).expect("NaN replicate"));
+    replicates.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - conf;
     let lower = crate::describe::quantile_sorted(&replicates, alpha / 2.0);
     let upper = crate::describe::quantile_sorted(&replicates, 1.0 - alpha / 2.0);
@@ -87,9 +87,12 @@ where
     F: Fn(&[f64]) -> f64,
 {
     assert!(!samples.is_empty(), "bootstrap of empty sample");
-    assert!(block_len >= 1 && block_len <= samples.len());
-    assert!(resamples >= 2);
-    assert!(conf > 0.0 && conf < 1.0);
+    assert!(
+        block_len >= 1 && block_len <= samples.len(),
+        "block length must fit the sample"
+    );
+    assert!(resamples >= 2, "need at least two resamples");
+    assert!(conf > 0.0 && conf < 1.0, "confidence must be in (0, 1)");
     let n = samples.len();
     let n_starts = n - block_len + 1;
     let blocks_needed = n.div_ceil(block_len);
@@ -105,7 +108,7 @@ where
         buf.truncate(n);
         replicates.push(statistic(&buf));
     }
-    replicates.sort_by(|a, b| a.partial_cmp(b).expect("NaN replicate"));
+    replicates.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - conf;
     BootstrapCi {
         estimate: statistic(samples),

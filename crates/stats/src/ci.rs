@@ -155,7 +155,7 @@ pub fn quantile_ci(samples: &[f64], p: f64, conf: f64) -> Option<QuantileCi> {
     let n = samples.len();
     let (lo_rank, hi_rank) = ci_ranks(n, p, conf)?;
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(QuantileCi {
         estimate: quantile_sorted(&sorted, p),
         lower: sorted[lo_rank - 1],

@@ -47,13 +47,13 @@ pub fn quantile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&sorted, p)
 }
 
 /// Quantile of an already-sorted slice (ascending).
 pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
+    assert!(!sorted.is_empty(), "quantile of empty sample");
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -94,7 +94,7 @@ impl BoxSummary {
     /// Compute from raw samples. Panics on empty input.
     pub fn from_samples(xs: &[f64]) -> Self {
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         BoxSummary {
             p1: quantile_sorted(&sorted, 0.01),
             p25: quantile_sorted(&sorted, 0.25),
@@ -139,7 +139,7 @@ impl Summary {
     pub fn from_samples(xs: &[f64]) -> Self {
         assert!(!xs.is_empty(), "summary of empty sample");
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Summary {
             n: xs.len(),
             mean: mean(xs),
@@ -163,10 +163,71 @@ impl Summary {
     }
 }
 
+/// A [`Summary`] over a sample with known holes — the gap-aware form
+/// used for campaigns that lost probes or stalled mid-run.
+///
+/// Dropping lost intervals and summarizing the survivors as if nothing
+/// happened silently biases week-long campaigns (the gaps are rarely
+/// independent of the value being measured: stalls eat the *low*
+/// samples). `GapAwareSummary` keeps the survivor statistics but
+/// carries the accounting needed to decide whether they are
+/// trustworthy: how many observations were expected, how many arrived,
+/// and how many distinct gaps the trace had.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapAwareSummary {
+    /// Summary over the surviving samples (`None` if none survived).
+    pub summary: Option<Summary>,
+    /// Observations the campaign would have produced with no faults.
+    pub expected_n: usize,
+    /// Observations that actually arrived.
+    pub observed_n: usize,
+    /// Number of distinct gaps in the trace.
+    pub gap_count: usize,
+}
+
+impl GapAwareSummary {
+    /// Build from surviving samples plus the gap accounting.
+    /// `expected_n` must be at least `xs.len()`.
+    pub fn from_samples(xs: &[f64], expected_n: usize, gap_count: usize) -> Self {
+        assert!(
+            expected_n >= xs.len(),
+            "expected_n {} < observed {}",
+            expected_n,
+            xs.len()
+        );
+        GapAwareSummary {
+            summary: (!xs.is_empty()).then(|| Summary::from_samples(xs)),
+            expected_n,
+            observed_n: xs.len(),
+            gap_count,
+        }
+    }
+
+    /// A complete (gap-free) summary.
+    pub fn complete(xs: &[f64]) -> Self {
+        Self::from_samples(xs, xs.len(), 0)
+    }
+
+    /// Fraction of expected observations that arrived, in `[0, 1]`
+    /// (1.0 for an empty expected set: nothing was lost).
+    pub fn coverage(&self) -> f64 {
+        if self.expected_n == 0 {
+            1.0
+        } else {
+            self.observed_n as f64 / self.expected_n as f64
+        }
+    }
+
+    /// Whether any data was lost.
+    pub fn is_degraded(&self) -> bool {
+        self.observed_n < self.expected_n
+    }
+}
+
 /// Empirical CDF: sorted `(value, F(value))` points (Figure 6 left).
 pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     sorted
         .into_iter()
@@ -178,7 +239,7 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
 /// Fixed-width histogram over `[lo, hi]` with `bins` buckets; values
 /// outside the range are clamped into the edge buckets. Returns counts.
 pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<u64> {
-    assert!(bins > 0 && hi > lo);
+    assert!(bins > 0 && hi > lo, "histogram needs bins and a positive range");
     let mut counts = vec![0u64; bins];
     let width = (hi - lo) / bins as f64;
     for &x in xs {
@@ -269,5 +330,42 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn summary_rejects_empty() {
         Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn gap_aware_summary_tracks_coverage() {
+        let xs: Vec<f64> = (1..=80).map(|i| i as f64).collect();
+        let g = GapAwareSummary::from_samples(&xs, 100, 3);
+        assert!((g.coverage() - 0.8).abs() < 1e-12);
+        assert!(g.is_degraded());
+        assert_eq!(g.gap_count, 3);
+        assert_eq!(g.summary.unwrap().n, 80);
+
+        let full = GapAwareSummary::complete(&xs);
+        assert_eq!(full.coverage(), 1.0);
+        assert!(!full.is_degraded());
+    }
+
+    #[test]
+    fn gap_aware_summary_survives_total_loss() {
+        let g = GapAwareSummary::from_samples(&[], 50, 1);
+        assert!(g.summary.is_none());
+        assert_eq!(g.coverage(), 0.0);
+        assert!(g.is_degraded());
+        // Degenerate: nothing expected, nothing observed.
+        let none = GapAwareSummary::from_samples(&[], 0, 0);
+        assert_eq!(none.coverage(), 1.0);
+    }
+
+    #[test]
+    fn total_cmp_sorts_tolerate_nan() {
+        // The NaN-unsafe partial_cmp().unwrap() pattern used to panic
+        // here; total_cmp must not (NaN sorts last).
+        let xs = [3.0, f64::NAN, 1.0];
+        let b = BoxSummary::from_samples(&xs);
+        assert!(b.p1.is_finite() && b.p1 >= 1.0);
+        let e = ecdf(&xs);
+        assert_eq!(e[0].0, 1.0);
+        assert_eq!(e[1].0, 3.0);
     }
 }

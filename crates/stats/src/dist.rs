@@ -113,7 +113,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 
 /// Regularized lower incomplete gamma `P(a, x)`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && x >= 0.0);
+    assert!(a > 0.0 && x >= 0.0, "gamma arguments out of domain");
     if x == 0.0 {
         return 0.0;
     }
@@ -166,7 +166,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 
 /// Chi-squared CDF with `k` degrees of freedom.
 pub fn chi2_cdf(x: f64, k: f64) -> f64 {
-    assert!(k > 0.0);
+    assert!(k > 0.0, "shape must be positive");
     if x <= 0.0 {
         return 0.0;
     }
@@ -176,7 +176,7 @@ pub fn chi2_cdf(x: f64, k: f64) -> f64 {
 /// Regularized incomplete beta function `I_x(a, b)` (continued
 /// fraction, Numerical Recipes `betai`).
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0);
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
     assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
     if x == 0.0 {
         return 0.0;
@@ -240,7 +240,7 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
 
 /// Student's t CDF with `df` degrees of freedom.
 pub fn t_cdf(t: f64, df: f64) -> f64 {
-    assert!(df > 0.0);
+    assert!(df > 0.0, "degrees of freedom must be positive");
     let x = df / (df + t * t);
     let p = 0.5 * beta_inc(df / 2.0, 0.5, x);
     if t >= 0.0 {
@@ -252,7 +252,7 @@ pub fn t_cdf(t: f64, df: f64) -> f64 {
 
 /// F-distribution CDF with `d1`, `d2` degrees of freedom.
 pub fn f_cdf(f: f64, d1: f64, d2: f64) -> f64 {
-    assert!(d1 > 0.0 && d2 > 0.0);
+    assert!(d1 > 0.0 && d2 > 0.0, "degrees of freedom must be positive");
     if f <= 0.0 {
         return 0.0;
     }

@@ -15,7 +15,7 @@
 pub fn cliffs_delta(a: &[f64], b: &[f64]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "empty sample");
     let mut sb: Vec<f64> = b.to_vec();
-    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN sample"));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let nb = sb.len() as f64;
     let mut sum = 0.0f64;
     for &x in a {

@@ -43,7 +43,7 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> KruskalWallisResult {
         .enumerate()
         .flat_map(|(gi, g)| g.iter().map(move |&v| (v, gi)))
         .collect();
-    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN sample"));
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut rank_sums = vec![0.0f64; groups.len()];
     let mut tie_term = 0.0;
     let mut i = 0;

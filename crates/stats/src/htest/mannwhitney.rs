@@ -42,7 +42,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitneyResult {
         .map(|&v| (v, 0usize))
         .chain(b.iter().map(|&v| (v, 1usize)))
         .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN sample"));
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let n = pooled.len();
     let mut ranks = vec![0.0f64; n];

@@ -36,7 +36,7 @@ pub fn shapiro_wilk(xs: &[f64]) -> ShapiroWilkResult {
     let n = xs.len();
     assert!((3..=5000).contains(&n), "Shapiro–Wilk needs 3..=5000 samples");
     let mut x: Vec<f64> = xs.to_vec();
-    x.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    x.sort_by(|a, b| a.total_cmp(b));
     let range = x[n - 1] - x[0];
     assert!(range > 0.0, "sample has zero range");
 

@@ -39,5 +39,7 @@ pub use autocorr::{autocorrelation, autocovariance};
 pub use bootstrap::bootstrap_ci;
 pub use ci::{quantile_ci, QuantileCi};
 pub use confirm::{confirm_curve, repetitions_needed, ConfirmPoint};
-pub use describe::{coefficient_of_variation, mean, median, quantile, std_dev, BoxSummary, Summary};
+pub use describe::{
+    coefficient_of_variation, mean, median, quantile, std_dev, BoxSummary, GapAwareSummary, Summary,
+};
 pub use kappa::cohens_kappa;

@@ -26,7 +26,7 @@ fn main() {
 
     // 2. Run a one-hour bandwidth campaign under each access pattern.
     for pattern in TrafficPattern::ALL {
-        let res = measure::run_campaign(&profile, pattern, hours(1.0), 7);
+        let res = measure::run_campaign(&profile, pattern, hours(1.0), 7).expect("campaign");
         println!(
             "  {:<11} mean {:>5.2} Gbps  CoV {:>4.1}%  retrans {:>4}  variable: {}",
             res.pattern,

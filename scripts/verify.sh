@@ -37,4 +37,105 @@ if grep -q 'source = "registry' Cargo.lock; then
 fi
 echo "OK: all dependencies are workspace-local"
 
+echo "== panic policy: no unwrap/panic/bare assert in library code =="
+# Library code (everything outside #[cfg(test)] blocks and comments)
+# must not call .unwrap(), panic!(), unreachable!(), or message-less
+# assert!(): fallible paths return typed errors, invariants carry a
+# message. Known-safe sites are allowlisted below with a reason.
+python3 - <<'PYEOF'
+import glob, re, sys
+
+# path-substring allowlist: (file, why)
+ALLOW = [
+    ("crates/proplite/", "test framework: panicking is its contract"),
+    ("crates/bigdata/src/dag.rs", "pop() guarded by loop condition"),
+    ("crates/bigdata/src/workloads/tpcds.rs", "unknown query = documented API contract"),
+    ("crates/clouds/src/ballani.rs", "unknown cloud label = documented API contract"),
+    ("crates/netsim/src/shaper/empirical.rs", "last() guarded by constructor assert"),
+    ("crates/stats/src/describe.rs", "last() guarded by is_empty assert"),
+    ("crates/survey/src/corpus.rs", "exhaustive static table"),
+]
+
+def strip_tests(src):
+    out, lines, i = [], src.split("\n"), 0
+    while i < len(lines):
+        if "#[cfg(test)]" in lines[i]:
+            depth, started = 0, False
+            while i < len(lines):
+                depth += lines[i].count("{") - lines[i].count("}")
+                if "{" in lines[i]:
+                    started = True
+                if started and depth <= 0:
+                    break
+                i += 1
+            i += 1
+        else:
+            out.append((i + 1, lines[i]))
+            i += 1
+    return out
+
+def bare_assert(src, ln):
+    # grab the macro call from line ln until parens balance, then count
+    # top-level commas: zero commas = no message.
+    lines = src.split("\n")
+    txt, j = "", ln - 1
+    while j < len(lines):
+        txt += lines[j] + "\n"
+        if "(" in txt and txt.count("(") <= txt.count(")"):
+            break
+        j += 1
+    inner = txt[txt.index("assert!"):]
+    d = commas = 0
+    for ch in inner:
+        if ch == "(":
+            d += 1
+        elif ch == ")":
+            d -= 1
+            if d == 0:
+                break
+        elif ch == "," and d == 1:
+            commas += 1
+    return commas == 0
+
+violations = []
+for f in sorted(glob.glob("crates/*/src/**/*.rs", recursive=True)):
+    if any(f.startswith(a) or a in f for a, _ in ALLOW):
+        continue
+    src = open(f).read()
+    for ln, line in strip_tests(src):
+        code = line.split("//")[0]
+        if line.lstrip().startswith(("//", "///", "//!")):
+            continue
+        if re.search(r"\.unwrap\(\)|panic!\(|unreachable!\(", code):
+            violations.append(f"{f}:{ln}: {line.strip()[:90]}")
+        m = re.search(r"(?<![_a-zA-Z])assert!\s*\(", code)
+        if m and bare_assert(src, ln):
+            violations.append(f"{f}:{ln}: bare assert: {line.strip()[:80]}")
+
+if violations:
+    print("FAIL: panic-policy violations in library code:", file=sys.stderr)
+    print("\n".join(violations), file=sys.stderr)
+    sys.exit(1)
+print(f"OK: library code is panic-clean ({len(ALLOW)} allowlisted sites)")
+PYEOF
+
+echo "== deterministic replay: faulty campaign =="
+# A campaign with every fault class active must be bit-for-bit
+# reproducible from its seed: run the example twice, diff the output.
+replay_a=$(mktemp)
+replay_b=$(mktemp)
+trap 'rm -f "$replay_a" "$replay_b"' EXIT
+cargo run -q --release --offline --example faulty_campaign > "$replay_a"
+cargo run -q --release --offline --example faulty_campaign > "$replay_b"
+if ! diff -u "$replay_a" "$replay_b" > /dev/null; then
+  echo "FAIL: faulty campaign is not deterministic across replays:" >&2
+  diff -u "$replay_a" "$replay_b" >&2 | head -40
+  exit 1
+fi
+if ! grep -q "cured: false" "$replay_a"; then
+  echo "FAIL: straggler experiment no longer shows the negative result" >&2
+  exit 1
+fi
+echo "OK: faulty campaign replays bit-identically"
+
 echo "== verify.sh: all gates passed =="

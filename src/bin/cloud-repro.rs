@@ -43,7 +43,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
     let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
     let h = get_f64(flags, "hours", 1.0)?;
     let seed = get_u64(flags, "seed", 1)?;
-    let res = measure::run_campaign(&cloud, pattern, hours(h), seed);
+    let res = measure::run_campaign(&cloud, pattern, hours(h), seed).map_err(|e| e.to_string())?;
     println!(
         "campaign: {} {} / {} for {h} h (seed {seed})",
         res.provider, res.instance_type, res.pattern

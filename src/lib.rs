@@ -19,7 +19,7 @@
 //!     netsim::TrafficPattern::FullSpeed,
 //!     3600.0,
 //!     42,
-//! );
+//! ).unwrap();
 //! assert!(campaign.exhibits_variability());
 //! ```
 

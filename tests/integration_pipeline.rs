@@ -9,7 +9,8 @@ use netsim::TrafficPattern;
 fn campaign_to_report_pipeline() {
     // Measure a GCE pair for two hours under 10-30.
     let profile = clouds::gce::n_core(8);
-    let campaign = measure::run_campaign(&profile, TrafficPattern::TEN_THIRTY, hours(2.0), 3);
+    let campaign =
+        measure::run_campaign(&profile, TrafficPattern::TEN_THIRTY, hours(2.0), 3).unwrap();
     assert!(campaign.exhibits_variability());
 
     // Feed the per-interval bandwidths through the reporting layer.
@@ -28,9 +29,12 @@ fn campaign_to_report_pipeline() {
 fn three_clouds_three_mechanisms() {
     // One harness, three QoS mechanisms, three distinct behaviours.
     let d = hours(3.0);
-    let ec2 = measure::run_campaign(&clouds::ec2::c5_xlarge(), TrafficPattern::FullSpeed, d, 5);
-    let gce = measure::run_campaign(&clouds::gce::n_core(8), TrafficPattern::FullSpeed, d, 5);
-    let hpc = measure::run_campaign(&clouds::hpccloud::n_core(8), TrafficPattern::FullSpeed, d, 5);
+    let ec2 =
+        measure::run_campaign(&clouds::ec2::c5_xlarge(), TrafficPattern::FullSpeed, d, 5).unwrap();
+    let gce =
+        measure::run_campaign(&clouds::gce::n_core(8), TrafficPattern::FullSpeed, d, 5).unwrap();
+    let hpc = measure::run_campaign(&clouds::hpccloud::n_core(8), TrafficPattern::FullSpeed, d, 5)
+        .unwrap();
 
     // EC2: bimodal (10 Gbps then 1 Gbps) → enormous CoV.
     assert!(ec2.summary.cov > 0.5, "ec2 CoV {}", ec2.summary.cov);

@@ -133,7 +133,7 @@ prop_cases! {
             netsim::TrafficPattern::FullSpeed,
             minutes as f64 * 60.0,
             seed,
-        );
+        ).unwrap();
         let s = &res.summary;
         prop_assert!(s.min <= s.box_summary.p1 + 1e-9);
         prop_assert!(s.box_summary.p99 <= s.max + 1e-9);
