@@ -19,6 +19,9 @@
 //! The substrate crates are re-exported so downstream users need a
 //! single dependency:
 //!
+//! * [`exec`] — the deterministic work-stealing execution runtime
+//!   (parallel campaigns and bootstrap, bit-identical at any worker
+//!   count);
 //! * [`netsim`] — shapers, NICs, fabrics (the network simulator);
 //! * [`clouds`] — EC2 / GCE / HPCCloud / Ballani profiles;
 //! * [`vstats`] — CIs, CONFIRM, hypothesis tests;
@@ -39,6 +42,7 @@
 
 pub use bigdata;
 pub use clouds;
+pub use exec;
 pub use measure;
 pub use netsim;
 pub use survey;

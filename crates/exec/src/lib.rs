@@ -1,0 +1,54 @@
+#![deny(missing_docs)]
+
+//! # exec — deterministic work-stealing execution runtime
+//!
+//! A std-only parallel runtime for the simulator's embarrassingly
+//! parallel hot paths (fleet campaigns, pattern sweeps, bootstrap
+//! resampling). The workspace's hermetic-build policy rules out
+//! `rayon`; this crate provides the slice of it the simulator needs,
+//! built on scoped threads, per-worker chunk deques, and work stealing.
+//!
+//! ## The determinism contract
+//!
+//! Every task is keyed by its **stable index**, and results are merged
+//! in index order after all workers finish. Combined with the
+//! simulator-wide convention that per-task randomness derives from
+//! `(seed, task id)` — never from a shared sequential stream — the
+//! output of [`par_map`] and friends is **bit-identical at any worker
+//! count and under any steal interleaving**. Scheduling decides only
+//! *which thread* computes a task, never *what* the task computes.
+//!
+//! ## Panic containment
+//!
+//! A panicking task does not abort the process or poison its worker:
+//! each task runs under `catch_unwind`, and a panic becomes a typed
+//! [`TaskPanic`] carrying the task index and the stringified payload.
+//! [`try_par_map`] surfaces these per task so callers can degrade to
+//! partial results; [`par_map`] re-raises the lowest-indexed panic
+//! (deterministically, regardless of which worker hit it first).
+//!
+//! ## Worker-count resolution
+//!
+//! [`current_jobs`] resolves, in order: a process-global override (set
+//! by the CLI `--jobs` flag via [`set_global_jobs`]), the `REPRO_JOBS`
+//! environment variable, and finally the machine's available
+//! parallelism. Because of the determinism contract, this only affects
+//! wall-clock time — never results.
+//!
+//! ```
+//! // Bit-identical results at any worker count:
+//! let serial = exec::par_map_indexed(1, 100, |i| (i as u64).wrapping_mul(0x9E3779B9));
+//! let wide = exec::par_map_indexed(8, 100, |i| (i as u64).wrapping_mul(0x9E3779B9));
+//! assert_eq!(serial, wide);
+//! ```
+
+mod jobs;
+mod par;
+mod pool;
+
+pub use jobs::{current_jobs, global_jobs, parse_jobs, resolve_jobs, set_global_jobs};
+pub use par::{
+    par_map, par_map_indexed, par_map_indexed_report, par_map_with, try_par_map,
+    try_par_map_indexed,
+};
+pub use pool::{run_tasks, PoolReport, TaskPanic, WorkerStats};

@@ -1,0 +1,120 @@
+//! Property suite for the execution runtime: the determinism contract
+//! (bit-identical results at any worker count) under arbitrary task
+//! counts, worker counts, workloads, and panic masks.
+
+use exec::{par_map, par_map_indexed_report, par_map_with, try_par_map_indexed};
+use proplite::prelude::*;
+
+/// A cheap pure task body with full bit churn (SplitMix64 finalizer).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+prop_cases! {
+    #![config(Config::with_cases(48))]
+
+    /// par_map over arbitrary inputs is invariant to the worker count:
+    /// 1, 2, and 8 workers produce byte-identical output vectors.
+    #[test]
+    fn par_map_is_worker_count_invariant(
+        items in vec_of(0u64..u64::MAX, 0..300),
+    ) {
+        let serial = par_map(1, &items, |&x| mix(x));
+        for jobs in [2usize, 8] {
+            let wide = par_map(jobs, &items, |&x| mix(x));
+            prop_assert_eq!(&wide, &serial);
+        }
+    }
+
+    /// Float-returning tasks merge bit-identically too (the fleet and
+    /// bootstrap paths return f64s; compare their bit patterns).
+    #[test]
+    fn float_results_are_bit_identical_across_jobs(
+        n in 0usize..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let f = |i: usize| (mix(seed ^ i as u64) as f64) * 1e-3 + 0.1;
+        let one: Vec<u64> = par_map_with(1, n, |_| (), |_, i| f(i))
+            .iter().map(|x| x.to_bits()).collect();
+        for jobs in [2usize, 8] {
+            let wide: Vec<u64> = par_map_with(jobs, n, |_| (), |_, i| f(i))
+                .iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(&wide, &one);
+        }
+    }
+
+    /// Panic containment is per-task and worker-count invariant: the
+    /// same tasks fail with the same payloads at any jobs value, and
+    /// every non-panicking task still returns its result.
+    #[test]
+    fn panic_mask_is_worker_count_invariant(
+        n in 1usize..120,
+        mask in 1u64..u64::MAX,
+    ) {
+        let run = |jobs: usize| {
+            try_par_map_indexed(jobs, n, |i| {
+                if mix(mask ^ i as u64) % 5 == 0 {
+                    panic!("injected failure at {i}");
+                }
+                mix(i as u64)
+            })
+        };
+        let serial = run(1);
+        for jobs in [2usize, 8] {
+            let wide = run(jobs);
+            prop_assert_eq!(wide.len(), serial.len());
+            for (a, b) in wide.iter().zip(serial.iter()) {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Per-worker scratch state never leaks between tasks: a task that
+    /// overwrites-then-reads sees only its own writes, regardless of
+    /// which worker (and thus which reused buffer) executed it.
+    #[test]
+    fn scratch_state_is_isolated_per_task(
+        n in 0usize..150,
+        width in 1usize..32,
+    ) {
+        let expected: Vec<u64> = (0..n)
+            .map(|i| (0..width).map(|k| mix((i * width + k) as u64))
+                 .fold(0u64, |a, b| a.wrapping_add(b)))
+            .collect();
+        for jobs in [1usize, 2, 8] {
+            let got = par_map_with(
+                jobs,
+                n,
+                |_| vec![0u64; width],
+                |buf, i| {
+                    for (k, slot) in buf.iter_mut().enumerate() {
+                        *slot = mix((i * width + k) as u64);
+                    }
+                    buf.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+                },
+            );
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// The pool's accounting always adds up: every task runs exactly
+    /// once no matter how the steal interleaving went.
+    #[test]
+    fn every_task_runs_exactly_once(
+        n in 0usize..400,
+        jobs in 1usize..12,
+    ) {
+        let (out, report) = par_map_indexed_report(jobs, n, |i| i);
+        prop_assert_eq!(report.total_tasks(), n as u64);
+        prop_assert!(report.total_stolen() <= n as u64);
+        for (i, r) in out.into_iter().enumerate() {
+            match r {
+                Ok(v) => prop_assert_eq!(v, i),
+                Err(p) => return Err(CaseError::Fail(format!("unexpected panic: {p}"))),
+            }
+        }
+    }
+}

@@ -291,15 +291,36 @@ fn expected_intervals(pattern: TrafficPattern, from_s: f64, to_s: f64, interval:
 
 /// Run all three paper patterns on a profile; returns results in
 /// `[full-speed, 10-30, 5-30]` order.
+///
+/// Patterns are sharded across [`exec::current_jobs`] workers; each
+/// pattern's campaign is a pure function of `(profile, pattern,
+/// duration_s, seed)`, and results merge in pattern order, so the
+/// output is bit-identical at any worker count.
 pub fn run_all_patterns(
     profile: &CloudProfile,
     duration_s: f64,
     seed: u64,
 ) -> Result<Vec<CampaignResult>, MeasureError> {
-    TrafficPattern::ALL
-        .iter()
-        .map(|&p| run_campaign(profile, p, duration_s, seed))
-        .collect()
+    run_all_patterns_jobs(profile, duration_s, seed, exec::current_jobs())
+}
+
+/// [`run_all_patterns`] with an explicit worker count.
+pub fn run_all_patterns_jobs(
+    profile: &CloudProfile,
+    duration_s: f64,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<CampaignResult>, MeasureError> {
+    exec::try_par_map(jobs, &TrafficPattern::ALL, |&p| {
+        run_campaign(profile, p, duration_s, seed)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, outcome)| match outcome {
+        Ok(res) => res,
+        Err(p) => Err(MeasureError::TaskPanicked { task: i, payload: p.payload }),
+    })
+    .collect()
 }
 
 /// A VM pair that died partway through a fleet campaign.
@@ -324,6 +345,11 @@ pub struct FleetResult {
     pub pairs: Vec<CampaignResult>,
     /// Pairs that died mid-campaign, in pair order.
     pub failed_pairs: Vec<PairFailure>,
+    /// Pairs whose simulation task panicked inside the parallel
+    /// runtime, in pair order. The panic is contained: every other
+    /// pair's result is unaffected, and the fleet reports DEGRADED
+    /// instead of crashing.
+    pub panicked: Vec<exec::TaskPanic>,
     /// Summary over the per-pair *mean* bandwidths (spatial
     /// heterogeneity: pair-to-pair differences).
     pub across_pairs: Summary,
@@ -338,9 +364,11 @@ impl FleetResult {
         self.across_pairs.cov
     }
 
-    /// Whether any pair died or any trace has gaps.
+    /// Whether any pair died or panicked, or any trace has gaps.
     pub fn is_degraded(&self) -> bool {
-        !self.failed_pairs.is_empty() || self.pairs.iter().any(|p| p.is_degraded())
+        !self.failed_pairs.is_empty()
+            || !self.panicked.is_empty()
+            || self.pairs.iter().any(|p| p.is_degraded())
     }
 }
 
@@ -357,62 +385,118 @@ pub fn run_fleet(
     n_pairs: usize,
     seed: u64,
 ) -> Result<FleetResult, MeasureError> {
+    run_fleet_jobs(profile, pattern, duration_s, n_pairs, seed, exec::current_jobs())
+}
+
+/// [`run_fleet`] with an explicit worker count. Pairs are sharded
+/// across workers; each pair's simulation is a pure function of its
+/// derived `(seed, pair)` stream and results assemble in pair order,
+/// so the fleet is bit-identical at any `jobs` — parallelism buys
+/// wall-clock time only.
+pub fn run_fleet_jobs(
+    profile: &CloudProfile,
+    pattern: TrafficPattern,
+    duration_s: f64,
+    n_pairs: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<FleetResult, MeasureError> {
     assert!(n_pairs >= 1, "fleet needs at least one pair");
+    let outcomes = exec::try_par_map_indexed(jobs, n_pairs, |i| {
+        simulate_pair(profile, pattern, duration_s, seed, i)
+    });
+    assemble_fleet(outcomes, n_pairs)
+}
+
+/// One pair's slice of a fleet campaign — a pure function of the
+/// derived pair seed, safe to run on any worker in any order.
+fn simulate_pair(
+    profile: &CloudProfile,
+    pattern: TrafficPattern,
+    duration_s: f64,
+    seed: u64,
+    i: usize,
+) -> PairSim {
+    let pair_seed = derive_seed(seed, i as u64);
     let death_rate_per_s = profile.faults.pair_death_rate_per_hour / 3600.0;
+    // A pair's death time comes from its own derived stream so the
+    // surviving pairs' traces are unchanged by the death of others.
+    let death_s = if death_rate_per_s > 0.0 {
+        SimRng::new(derive_seed(pair_seed, LABEL_PAIR_DEATH)).exponential(death_rate_per_s)
+    } else {
+        f64::INFINITY
+    };
+    if death_s >= duration_s {
+        return match run_campaign(profile, pattern, duration_s, pair_seed) {
+            Ok(r) => PairSim::Alive(r),
+            Err(e) => PairSim::Fatal(e),
+        };
+    }
+    // The pair dies mid-campaign: run the truncated stretch, then
+    // re-annotate the result against the *requested* duration.
+    match run_campaign(profile, pattern, death_s, pair_seed) {
+        Ok(mut r) => {
+            let interval = r.trace.interval;
+            let lost_after_death = expected_intervals(pattern, death_s, duration_s, interval, 0.1);
+            let expected_n = r.gap_summary.expected_n + lost_after_death;
+            r.duration_s = duration_s;
+            r.gaps.push(TraceGap {
+                start_s: death_s,
+                end_s: duration_s,
+                cause: GapCause::PairDeath,
+            });
+            r.gaps = merge_gaps(std::mem::take(&mut r.gaps));
+            r.gap_summary =
+                GapAwareSummary::from_samples(&r.trace.bandwidths(), expected_n, r.gaps.len());
+            PairSim::Partial(r, PairFailure { pair: i, death_s, partial_data: true })
+        }
+        Err(MeasureError::EmptyTrace) => {
+            PairSim::Dead(PairFailure { pair: i, death_s, partial_data: false })
+        }
+        Err(e) => PairSim::Fatal(e),
+    }
+}
+
+/// Outcome of one pair's simulation task.
+enum PairSim {
+    /// Survived the whole campaign.
+    Alive(CampaignResult),
+    /// Died mid-campaign with partial data.
+    Partial(CampaignResult, PairFailure),
+    /// Died before producing anything.
+    Dead(PairFailure),
+    /// A non-degradable error (serial semantics: abort the fleet).
+    Fatal(MeasureError),
+}
+
+/// Fold per-pair outcomes, **in pair order**, into a fleet result —
+/// reproducing the serial loop's observable behaviour exactly: a fatal
+/// error at pair `i` wins over anything at pairs `> i`, and a panicked
+/// pair degrades the fleet instead of crashing it.
+fn assemble_fleet(
+    outcomes: Vec<Result<PairSim, exec::TaskPanic>>,
+    n_pairs: usize,
+) -> Result<FleetResult, MeasureError> {
     let mut pairs = Vec::with_capacity(n_pairs);
     let mut failed_pairs = Vec::new();
-    for i in 0..n_pairs {
-        let pair_seed = derive_seed(seed, i as u64);
-        // A pair's death time comes from its own derived stream so the
-        // surviving pairs' traces are unchanged by the death of others.
-        let death_s = if death_rate_per_s > 0.0 {
-            SimRng::new(derive_seed(pair_seed, LABEL_PAIR_DEATH)).exponential(death_rate_per_s)
-        } else {
-            f64::INFINITY
-        };
-        if death_s >= duration_s {
-            pairs.push(run_campaign(profile, pattern, duration_s, pair_seed)?);
-            continue;
-        }
-        // The pair dies mid-campaign: run the truncated stretch, then
-        // re-annotate the result against the *requested* duration.
-        match run_campaign(profile, pattern, death_s, pair_seed) {
-            Ok(mut r) => {
-                let interval = r.trace.interval;
-                let lost_after_death =
-                    expected_intervals(pattern, death_s, duration_s, interval, 0.1);
-                let expected_n = r.gap_summary.expected_n + lost_after_death;
-                r.duration_s = duration_s;
-                r.gaps.push(TraceGap {
-                    start_s: death_s,
-                    end_s: duration_s,
-                    cause: GapCause::PairDeath,
-                });
-                r.gaps = merge_gaps(std::mem::take(&mut r.gaps));
-                r.gap_summary = GapAwareSummary::from_samples(
-                    &r.trace.bandwidths(),
-                    expected_n,
-                    r.gaps.len(),
-                );
-                failed_pairs.push(PairFailure {
-                    pair: i,
-                    death_s,
-                    partial_data: true,
-                });
+    let mut panicked = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(PairSim::Alive(r)) => pairs.push(r),
+            Ok(PairSim::Partial(r, f)) => {
+                failed_pairs.push(f);
                 pairs.push(r);
             }
-            Err(MeasureError::EmptyTrace) => {
-                failed_pairs.push(PairFailure {
-                    pair: i,
-                    death_s,
-                    partial_data: false,
-                });
-            }
-            Err(e) => return Err(e),
+            Ok(PairSim::Dead(f)) => failed_pairs.push(f),
+            Ok(PairSim::Fatal(e)) => return Err(e),
+            Err(p) => panicked.push(p),
         }
     }
     if pairs.is_empty() {
-        return Err(MeasureError::AllPairsFailed { n_pairs });
+        return match panicked.into_iter().next() {
+            Some(p) => Err(MeasureError::TaskPanicked { task: p.task, payload: p.payload }),
+            None => Err(MeasureError::AllPairsFailed { n_pairs }),
+        };
     }
     let means: Vec<f64> = pairs.iter().map(|p| p.mean_bandwidth_bps()).collect();
     let mean_within = pairs.iter().map(|p| p.summary.cov).sum::<f64>() / pairs.len() as f64;
@@ -421,6 +505,7 @@ pub fn run_fleet(
         mean_within_pair_cov: mean_within,
         pairs,
         failed_pairs,
+        panicked,
     })
 }
 
@@ -612,6 +697,101 @@ mod tests {
         let again = run_fleet(&p, TrafficPattern::FullSpeed, hours(6.0), 8, 5).unwrap();
         assert_eq!(fleet.failed_pairs, again.failed_pairs);
         assert_eq!(fleet.across_pairs, again.across_pairs);
+    }
+
+    /// Render every field that feeds golden CHECK values into one
+    /// comparable string, down to the f64 bit patterns.
+    fn fleet_fingerprint(f: &FleetResult) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "across:{:x}/{:x} within:{:x} failed:{:?} panicked:{:?}",
+            f.across_pairs.mean.to_bits(),
+            f.across_pairs.cov.to_bits(),
+            f.mean_within_pair_cov.to_bits(),
+            f.failed_pairs,
+            f.panicked,
+        );
+        for p in &f.pairs {
+            let _ = write!(
+                s,
+                "|{}:{}:{:x}:{:x}:{}:{:?}",
+                p.pattern,
+                p.trace.samples.len(),
+                p.summary.mean.to_bits(),
+                p.summary.cov.to_bits(),
+                p.total_retransmissions,
+                p.gaps,
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn fleet_is_bit_identical_at_any_worker_count() {
+        // The tentpole invariant: worker counts 1, 2, and 8 produce
+        // byte-identical fleet results — faults, deaths, and all.
+        let mut p = clouds::hpccloud::n_core(8).with_reference_faults();
+        p.faults.pair_death_rate_per_hour = 0.2;
+        let one = run_fleet_jobs(&p, TrafficPattern::FullSpeed, hours(3.0), 6, 17, 1).unwrap();
+        for jobs in [2usize, 8] {
+            let wide =
+                run_fleet_jobs(&p, TrafficPattern::FullSpeed, hours(3.0), 6, 17, jobs).unwrap();
+            assert_eq!(fleet_fingerprint(&wide), fleet_fingerprint(&one), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn all_patterns_is_bit_identical_at_any_worker_count() {
+        let p = clouds::ec2::c5_xlarge();
+        let one = run_all_patterns_jobs(&p, hours(2.0), 23, 1).unwrap();
+        for jobs in [2usize, 8] {
+            let wide = run_all_patterns_jobs(&p, hours(2.0), 23, jobs).unwrap();
+            assert_eq!(wide.len(), one.len());
+            for (a, b) in wide.iter().zip(one.iter()) {
+                assert_eq!(a.trace.samples, b.trace.samples, "jobs={jobs}");
+                assert_eq!(a.summary, b.summary, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_pair_degrades_fleet_instead_of_crashing() {
+        // Assemble a fleet where pair 1's task panicked: the fleet
+        // keeps the surviving pairs and reports DEGRADED.
+        let p = clouds::hpccloud::n_core(8);
+        let good = |i: usize| {
+            simulate_pair(&p, TrafficPattern::FullSpeed, 1800.0, 99, i)
+        };
+        let outcomes = vec![
+            Ok(good(0)),
+            Err(exec::TaskPanic { task: 1, payload: "simulated worker bug".into() }),
+            Ok(good(2)),
+        ];
+        let fleet = assemble_fleet(outcomes, 3).unwrap();
+        assert_eq!(fleet.pairs.len(), 2);
+        assert_eq!(fleet.panicked.len(), 1);
+        assert_eq!(fleet.panicked[0].task, 1);
+        assert!(fleet.is_degraded(), "a contained panic must mark the fleet degraded");
+        // Survivors are exactly what a fleet without the panic computes
+        // for those pair indices (per-pair seed streams are decoupled).
+        let clean = run_fleet_jobs(&p, TrafficPattern::FullSpeed, 1800.0, 3, 99, 1).unwrap();
+        assert_eq!(fleet.pairs[0].summary, clean.pairs[0].summary);
+        assert_eq!(fleet.pairs[1].summary, clean.pairs[2].summary);
+    }
+
+    #[test]
+    fn all_pairs_panicked_is_a_typed_error() {
+        let outcomes: Vec<Result<PairSim, exec::TaskPanic>> = (0..2)
+            .map(|i| Err(exec::TaskPanic { task: i, payload: format!("boom {i}") }))
+            .collect();
+        match assemble_fleet(outcomes, 2) {
+            Err(MeasureError::TaskPanicked { task: 0, payload }) => {
+                assert!(payload.contains("boom 0"));
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// Why a measurement operation could not produce a result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MeasureError {
     /// The campaign produced no bandwidth samples at all (duration too
     /// short for the pattern, or every sample was lost to faults).
@@ -24,6 +24,16 @@ pub enum MeasureError {
         /// Pairs the fleet started with.
         n_pairs: usize,
     },
+    /// A worker task panicked inside the parallel runtime. The panic
+    /// was contained (the process and the other tasks survive); a fleet
+    /// reports this per pair and degrades to partial results, and only
+    /// returns this error when *nothing* else survived.
+    TaskPanicked {
+        /// Stable index of the task (e.g. the fleet pair) that died.
+        task: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -37,6 +47,9 @@ impl fmt::Display for MeasureError {
             }
             MeasureError::AllPairsFailed { n_pairs } => {
                 write!(f, "all {n_pairs} fleet pairs died before producing data")
+            }
+            MeasureError::TaskPanicked { task, payload } => {
+                write!(f, "worker task {task} panicked (contained): {payload}")
             }
         }
     }
@@ -57,6 +70,9 @@ mod tests {
         assert!(MeasureError::AllPairsFailed { n_pairs: 4 }
             .to_string()
             .contains("4 fleet pairs"));
+        let p = MeasureError::TaskPanicked { task: 3, payload: "index oob".into() };
+        assert!(p.to_string().contains("task 3"));
+        assert!(p.to_string().contains("index oob"));
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub mod probe;
 pub mod rest;
 
 pub use campaign::{
-    run_campaign, run_fleet, CampaignResult, FleetResult, GapCause, PairFailure, TraceGap,
+    run_all_patterns, run_all_patterns_jobs, run_campaign, run_fleet, run_fleet_jobs,
+    CampaignResult, FleetResult, GapCause, PairFailure, TraceGap,
 };
 pub use error::MeasureError;
 pub use experiment::{ExperimentPlan, ExperimentReport};

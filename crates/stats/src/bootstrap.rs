@@ -5,8 +5,17 @@
 //! slowdown ratios), at the price of resampling cost and an explicit
 //! seed. Used by the reporting layer when the statistic of interest is
 //! not a plain quantile.
+//!
+//! ## Parallel resampling
+//!
+//! Replicate `r` draws from its own RNG stream,
+//! `SimRng::new(derive_seed(seed, r))` — not from one sequential
+//! stream — so replicates are independent of execution order and the
+//! resample loop shards across [`exec`] workers with **bit-identical**
+//! CIs at any worker count. Each worker reuses a single scratch buffer
+//! across all replicates it runs (no per-replicate allocation).
 
-use netsim::rng::SimRng;
+use netsim::rng::{derive_seed, SimRng};
 
 /// A bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,21 +45,42 @@ pub fn bootstrap_ci<F>(
     seed: u64,
 ) -> BootstrapCi
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    bootstrap_ci_jobs(samples, statistic, resamples, conf, seed, exec::current_jobs())
+}
+
+/// [`bootstrap_ci`] with an explicit worker count. The CI is
+/// bit-identical at any `jobs` (see the module docs).
+pub fn bootstrap_ci_jobs<F>(
+    samples: &[f64],
+    statistic: F,
+    resamples: usize,
+    conf: f64,
+    seed: u64,
+    jobs: usize,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     assert!(!samples.is_empty(), "bootstrap of empty sample");
     assert!(resamples >= 2, "need at least two resamples");
     assert!(conf > 0.0 && conf < 1.0, "confidence must be in (0, 1)");
-    let mut rng = SimRng::new(seed);
     let n = samples.len();
-    let mut replicates = Vec::with_capacity(resamples);
-    let mut buf = vec![0.0; n];
-    for _ in 0..resamples {
-        for slot in buf.iter_mut() {
-            *slot = samples[rng.index(n)];
-        }
-        replicates.push(statistic(&buf));
-    }
+    let mut replicates = exec::par_map_with(
+        jobs,
+        resamples,
+        // One scratch resample buffer per worker, reused across every
+        // replicate that worker runs.
+        |_worker| vec![0.0f64; n],
+        |buf, r| {
+            let mut rng = SimRng::new(derive_seed(seed, r as u64));
+            for slot in buf.iter_mut() {
+                *slot = samples[rng.index(n)];
+            }
+            statistic(buf)
+        },
+    );
     replicates.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - conf;
     let lower = crate::describe::quantile_sorted(&replicates, alpha / 2.0);
@@ -84,7 +114,24 @@ pub fn block_bootstrap_ci<F>(
     seed: u64,
 ) -> BootstrapCi
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    block_bootstrap_ci_jobs(samples, statistic, block_len, resamples, conf, seed, exec::current_jobs())
+}
+
+/// [`block_bootstrap_ci`] with an explicit worker count. The CI is
+/// bit-identical at any `jobs` (see the module docs).
+pub fn block_bootstrap_ci_jobs<F>(
+    samples: &[f64],
+    statistic: F,
+    block_len: usize,
+    resamples: usize,
+    conf: f64,
+    seed: u64,
+    jobs: usize,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     assert!(!samples.is_empty(), "bootstrap of empty sample");
     assert!(
@@ -96,18 +143,21 @@ where
     let n = samples.len();
     let n_starts = n - block_len + 1;
     let blocks_needed = n.div_ceil(block_len);
-    let mut rng = SimRng::new(seed);
-    let mut replicates = Vec::with_capacity(resamples);
-    let mut buf = Vec::with_capacity(blocks_needed * block_len);
-    for _ in 0..resamples {
-        buf.clear();
-        for _ in 0..blocks_needed {
-            let start = rng.index(n_starts);
-            buf.extend_from_slice(&samples[start..start + block_len]);
-        }
-        buf.truncate(n);
-        replicates.push(statistic(&buf));
-    }
+    let mut replicates = exec::par_map_with(
+        jobs,
+        resamples,
+        |_worker| Vec::with_capacity(blocks_needed * block_len),
+        |buf: &mut Vec<f64>, r| {
+            let mut rng = SimRng::new(derive_seed(seed, r as u64));
+            buf.clear();
+            for _ in 0..blocks_needed {
+                let start = rng.index(n_starts);
+                buf.extend_from_slice(&samples[start..start + block_len]);
+            }
+            buf.truncate(n);
+            statistic(buf)
+        },
+    );
     replicates.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - conf;
     BootstrapCi {
@@ -228,6 +278,42 @@ mod tests {
         let b = block_bootstrap_ci(&xs, median, block, 500, 0.95, 9);
         assert_eq!(a, b);
         assert!(a.lower <= a.upper);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_bit_identical_at_any_worker_count() {
+        let xs = uniform_samples(300, 8);
+        let one = bootstrap_ci_jobs(&xs, mean, 1000, 0.95, 11, 1);
+        for jobs in [2usize, 8] {
+            let wide = bootstrap_ci_jobs(&xs, mean, 1000, 0.95, 11, jobs);
+            assert_eq!(one.lower.to_bits(), wide.lower.to_bits(), "jobs={jobs}");
+            assert_eq!(one.upper.to_bits(), wide.upper.to_bits(), "jobs={jobs}");
+            assert_eq!(one.estimate.to_bits(), wide.estimate.to_bits(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn block_bootstrap_ci_is_bit_identical_at_any_worker_count() {
+        let xs = ar1_series(250, 0.7, 12);
+        let block = default_block_len(xs.len());
+        let one = block_bootstrap_ci_jobs(&xs, median, block, 800, 0.95, 13, 1);
+        for jobs in [2usize, 8] {
+            let wide = block_bootstrap_ci_jobs(&xs, median, block, 800, 0.95, 13, jobs);
+            assert_eq!(one.lower.to_bits(), wide.lower.to_bits(), "jobs={jobs}");
+            assert_eq!(one.upper.to_bits(), wide.upper.to_bits(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn replicate_streams_are_decoupled_from_resample_count() {
+        // Per-replicate derived seeds: the first 500 replicates of a
+        // 1000-resample run are the 500-resample run's replicates, so
+        // adding repetitions never perturbs existing ones (the same
+        // property the campaign layer guarantees for pairs).
+        let xs = uniform_samples(80, 9);
+        let a = bootstrap_ci(&xs, mean, 500, 0.95, 21);
+        let b = bootstrap_ci(&xs, mean, 500, 0.95, 21);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod htest;
 pub mod kappa;
 
 pub use autocorr::{autocorrelation, autocovariance};
-pub use bootstrap::bootstrap_ci;
+pub use bootstrap::{block_bootstrap_ci, block_bootstrap_ci_jobs, bootstrap_ci, bootstrap_ci_jobs};
 pub use ci::{quantile_ci, QuantileCi};
 pub use confirm::{confirm_curve, repetitions_needed, ConfirmPoint};
 pub use describe::{

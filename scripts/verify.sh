@@ -138,4 +138,25 @@ if ! grep -q "cured: false" "$replay_a"; then
 fi
 echo "OK: faulty campaign replays bit-identically"
 
+echo "== parallel invariance: REPRO_JOBS=1 vs REPRO_JOBS=4 =="
+# The exec runtime's contract: worker count never changes results.
+# Run the full fault-injection example serially and on 4 workers and
+# require bit-for-bit identical output.
+par_a=$(mktemp)
+par_b=$(mktemp)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b"' EXIT
+REPRO_JOBS=1 cargo run -q --release --offline --example faulty_campaign > "$par_a"
+REPRO_JOBS=4 cargo run -q --release --offline --example faulty_campaign > "$par_b"
+if ! diff -u "$par_a" "$par_b" > /dev/null; then
+  echo "FAIL: output differs between 1 and 4 workers:" >&2
+  diff -u "$par_a" "$par_b" >&2 | head -40
+  exit 1
+fi
+if ! diff -u "$replay_a" "$par_a" > /dev/null; then
+  echo "FAIL: parallel output differs from the serial replay gate's:" >&2
+  diff -u "$replay_a" "$par_a" >&2 | head -40
+  exit 1
+fi
+echo "OK: campaign output is invariant to the worker count"
+
 echo "== verify.sh: all gates passed =="

@@ -4,6 +4,7 @@
 //! ```text
 //! cloud-repro list
 //! cloud-repro campaign  --cloud ec2-c5.xlarge --pattern 5-30 --hours 2
+//! cloud-repro fleet     --cloud hpc-8 --pairs 8 --hours 6 --jobs 4
 //! cloud-repro probe     --cloud ec2-c5.2xlarge --probes 15
 //! cloud-repro fingerprint --cloud ec2-c5.xlarge --bucket
 //! cloud-repro run       --cloud gce-8 --workload q65 --reps 10
@@ -15,7 +16,7 @@
 //! dependency set minimal.
 
 use cloud_repro::cli::{
-    cloud_by_name, get_f64, get_u64, parse_flags, pattern_by_name, workload_by_name,
+    cloud_by_name, get_f64, get_jobs, get_u64, parse_flags, pattern_by_name, workload_by_name,
 };
 use cloud_repro::prelude::*;
 use netsim::units::hours;
@@ -121,6 +122,45 @@ fn cmd_fingerprint(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
+    let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
+    let h = get_f64(flags, "hours", 1.0)?;
+    let n_pairs = get_u64(flags, "pairs", 6)? as usize;
+    let seed = get_u64(flags, "seed", 1)?;
+    let jobs = exec::current_jobs();
+    println!(
+        "fleet: {n_pairs} pairs of {} {} / {} for {h} h (seed {seed}, {jobs} worker{})",
+        cloud.provider.name(),
+        cloud.instance_type,
+        pattern.label(),
+        if jobs == 1 { "" } else { "s" },
+    );
+    let fleet = measure::run_fleet(&cloud, pattern, hours(h), n_pairs, seed)
+        .map_err(|e| e.to_string())?;
+    for (i, p) in fleet.pairs.iter().enumerate() {
+        println!(
+            "  pair {i:>2}: mean {:>6.2} Gbps  CoV {:>6.3}  coverage {:>5.1}%",
+            p.mean_bandwidth_bps() / 1e9,
+            p.summary.cov,
+            p.coverage() * 100.0
+        );
+    }
+    for f in &fleet.failed_pairs {
+        println!("  pair {:>2}: died at {:.0} s (partial data: {})", f.pair, f.death_s, f.partial_data);
+    }
+    for p in &fleet.panicked {
+        println!("  pair {:>2}: worker task panicked (contained): {}", p.task, p.payload);
+    }
+    println!(
+        "across-pair CoV {:.4} (spatial), mean within-pair CoV {:.4} (temporal){}",
+        fleet.across_pair_cov(),
+        fleet.mean_within_pair_cov,
+        if fleet.is_degraded() { "  [DEGRADED]" } else { "" }
+    );
+    Ok(())
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let job = workload_by_name(flags.get("workload").ok_or("--workload required")?)?;
@@ -210,11 +250,16 @@ fn usage() {
     println!("subcommands:");
     println!("  list                               clouds, workloads, patterns");
     println!("  campaign --cloud C [--pattern P] [--hours H] [--seed S]");
+    println!("  fleet --cloud C [--pairs N] [--pattern P] [--hours H] [--seed S]");
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
     println!("  run --cloud C --workload W [--reps N] [--nodes N]");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
+    println!();
+    println!("global flags:");
+    println!("  --jobs N    parallel workers (default: REPRO_JOBS env, then all");
+    println!("              cores); results are bit-identical at any worker count");
 }
 
 fn main() -> ExitCode {
@@ -230,12 +275,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match get_jobs(&flags) {
+        Ok(jobs) => exec::set_global_jobs(jobs),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match cmd.as_str() {
         "list" => {
             cmd_list();
             Ok(())
         }
         "campaign" => cmd_campaign(&flags),
+        "fleet" => cmd_fleet(&flags),
         "probe" => cmd_probe(&flags),
         "fingerprint" => cmd_fingerprint(&flags),
         "run" => cmd_run(&flags),

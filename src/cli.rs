@@ -113,6 +113,23 @@ pub fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Resu
     }
 }
 
+/// Parse the global `--jobs N` flag: `Some(n)` for a positive integer,
+/// `None` when absent (callers fall back to the `REPRO_JOBS`
+/// environment variable, then to all cores — see
+/// [`exec::resolve_jobs`](repro_core::exec::resolve_jobs)).
+///
+/// Worker count never changes results (the runtime merges by task
+/// index), so this flag trades wall-clock time only.
+pub fn get_jobs(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    match flags.get("jobs") {
+        None => Ok(None),
+        Some(v) => match repro_core::exec::parse_jobs(v) {
+            Some(n) => Ok(Some(n)),
+            None => Err(format!("--jobs wants a positive integer, got {v:?}")),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +197,18 @@ mod tests {
         assert_eq!(pattern_by_name("full").unwrap().label(), "full-speed");
         assert_eq!(pattern_by_name("10-30").unwrap().label(), "10-30");
         assert!(pattern_by_name("1-1").is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_or_rejects() {
+        let f = parse_flags(&args(&["--jobs", "4"])).unwrap();
+        assert_eq!(get_jobs(&f).unwrap(), Some(4));
+        let absent = parse_flags(&args(&["--seed", "1"])).unwrap();
+        assert_eq!(get_jobs(&absent).unwrap(), None);
+        for bad in ["0", "-3", "many"] {
+            let f = parse_flags(&args(&["--jobs", bad])).unwrap();
+            assert!(get_jobs(&f).is_err(), "--jobs {bad} must be rejected");
+        }
     }
 
     #[test]

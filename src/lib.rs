@@ -31,6 +31,7 @@ pub mod cli;
 pub mod prelude {
     pub use repro_core::bigdata;
     pub use repro_core::clouds;
+    pub use repro_core::exec;
     pub use repro_core::measure;
     pub use repro_core::netsim;
     pub use repro_core::survey;
