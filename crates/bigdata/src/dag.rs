@@ -26,7 +26,7 @@ use crate::job::{JobSpec, StageSpec};
 use netsim::fabric::{FlowId, FlowSpec};
 use netsim::rng::SimRng;
 use netsim::shaper::Shaper;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A DAG of stages.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,7 +123,7 @@ struct StageRun {
     /// Remaining times of tasks currently on slots.
     running_tasks: Vec<f64>,
     /// Outstanding shuffle flows.
-    pending_flows: HashSet<FlowId>,
+    pending_flows: BTreeSet<FlowId>,
 }
 
 /// Execute a DAG on a cluster. Deterministic in `seed`.
@@ -171,7 +171,7 @@ pub fn run_dag<S: Shaper>(
                 state: StageState::Blocked,
                 queued_tasks: queued,
                 running_tasks: Vec::new(),
-                pending_flows: HashSet::new(),
+                pending_flows: BTreeSet::new(),
             }
         })
         .collect();
@@ -201,8 +201,11 @@ pub fn run_dag<S: Shaper>(
             if run.state != StageState::Computing {
                 continue;
             }
-            while free_slots > 0 && !run.queued_tasks.is_empty() {
-                run.running_tasks.push(run.queued_tasks.pop().unwrap());
+            while free_slots > 0 {
+                let Some(task) = run.queued_tasks.pop() else {
+                    break;
+                };
+                run.running_tasks.push(task);
                 free_slots -= 1;
             }
         }

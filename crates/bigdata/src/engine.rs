@@ -12,7 +12,7 @@ use crate::job::JobSpec;
 use netsim::fabric::{FlowId, FlowSpec};
 use netsim::rng::SimRng;
 use netsim::shaper::Shaper;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Engine time-stepping configuration.
 #[derive(Debug, Clone, Copy)]
@@ -230,7 +230,7 @@ fn execute<S: Shaper>(
                 .collect();
             let wsum: f64 = weights.iter().sum();
             let start = cluster.fabric().now();
-            let mut pending: HashSet<FlowId> = HashSet::new();
+            let mut pending: BTreeSet<FlowId> = BTreeSet::new();
             for src in 0..n {
                 let src_bits = stage.shuffle_bits * weights[src] / wsum;
                 let per_dst = src_bits / (n - 1) as f64;

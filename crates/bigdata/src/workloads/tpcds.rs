@@ -67,6 +67,7 @@ pub fn query(n: u32) -> JobSpec {
     let &(_, wall, shuffle) = PROFILE
         .iter()
         .find(|(q, _, _)| *q == n)
+        // detlint:allow(D5) -- documented API contract: panics for queries outside the Figure 17 subset
         .unwrap_or_else(|| panic!("query {n} not in the Figure 17 subset"));
     let scan_mean = wall * SCAN_FRACTION / WAVE_FACTOR;
     let agg_mean = wall * (1.0 - SCAN_FRACTION) / WAVE_FACTOR;
@@ -123,6 +124,7 @@ pub fn query_dag(n: u32) -> crate::dag::DagSpec {
     let &(_, wall, shuffle) = PROFILE
         .iter()
         .find(|(q, _, _)| *q == n)
+        // detlint:allow(D5) -- documented API contract: panics for queries outside the Figure 17 subset
         .unwrap_or_else(|| panic!("query {n} not in the Figure 17 subset"));
     // Split the scan work across two branches (fact side heavier).
     let fact_mean = wall * 0.40 / WAVE_FACTOR;

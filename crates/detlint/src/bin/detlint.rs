@@ -1,0 +1,78 @@
+//! `detlint` — standalone entry point for the determinism &
+//! hermeticity linter.
+//!
+//! ```text
+//! detlint [--root DIR] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean (warn-tier findings allowed), `1` deny-tier
+//! findings present, `2` usage or I/O error. The JSON-lines output is
+//! sorted and byte-stable across runs, so CI can diff it.
+
+use detlint::{lint_workspace, render_human, render_json_lines, tally};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(dir) = args.get(i + 1) else {
+                    return Err("--root wants a directory".to_string());
+                };
+                root = PathBuf::from(dir);
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Options { root, json })
+}
+
+fn usage() -> String {
+    "usage: detlint [--root DIR] [--json]\n\
+     lints the workspace at DIR (default .) against the determinism &\n\
+     hermeticity contract (rules D1-D7); exits 1 on deny-tier findings"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", render_json_lines(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if tally(&findings).deny > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

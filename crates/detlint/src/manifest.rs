@@ -1,0 +1,185 @@
+//! Rule D7: the hermeticity gate over `Cargo.toml` manifests.
+//!
+//! The workspace builds with `--offline` on a machine that has never
+//! reached a registry; `verify.sh` proves that dynamically from the
+//! resolved graph (`cargo metadata`), and this module proves it
+//! statically from the manifests themselves — before any resolution
+//! runs. Every entry of a dependency section must be a workspace-path
+//! dependency (`foo.workspace = true`, `{ workspace = true }`, or
+//! `{ path = "..." }`); anything that names a registry version, a git
+//! URL, or an alternative registry is a deny-tier finding.
+//!
+//! D7 has no suppression pragma on purpose: hermeticity is the one
+//! clause of the contract with no legitimate exception — a registry
+//! dependency either exists (and the offline build breaks) or it does
+//! not.
+
+use crate::engine::Finding;
+use crate::rules::RuleId;
+
+/// Is this `[section]` header a dependency table?
+fn is_dep_section(name: &str) -> bool {
+    let name = name.trim();
+    // [dependencies], [dev-dependencies], [build-dependencies],
+    // [workspace.dependencies], [target.'cfg(..)'.dependencies], and
+    // the expanded per-dependency form [dependencies.foo].
+    let bare = name
+        .strip_suffix("dependencies")
+        .map(|p| p.is_empty() || p.ends_with('.') || p.ends_with('-'));
+    match bare {
+        Some(true) => true,
+        _ => {
+            // [dependencies.foo] / [workspace.dependencies.foo]
+            name.contains("dependencies.")
+        }
+    }
+}
+
+/// Within a dep section, is this `key = value` line a hermetic entry?
+fn entry_is_hermetic(key: &str, value: &str) -> bool {
+    // `foo.workspace = true` — inherited workspace-path dependency.
+    if key.trim_end().ends_with(".workspace") {
+        return true;
+    }
+    let v = value.trim();
+    // Inline tables are hermetic iff they carry a path or workspace
+    // inheritance and never name a version/git/registry source.
+    if v.starts_with('{') {
+        let bad = ["version", "git", "registry", "branch", "rev", "tag"];
+        let has_bad = bad.iter().any(|b| table_has_key(v, b));
+        let has_good = table_has_key(v, "path") || table_has_key(v, "workspace");
+        return has_good && !has_bad;
+    }
+    // Bare string (`foo = "1.2"`) is registry shorthand: never hermetic.
+    false
+}
+
+/// Does the inline table text contain `key` as a TOML key (``key =``)?
+fn table_has_key(table: &str, key: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = table[from..].find(key) {
+        let abs = from + at;
+        let pre = table[..abs].trim_end().chars().next_back().unwrap_or('{');
+        let post = table[abs + key.len()..].trim_start().chars().next().unwrap_or(' ');
+        if (pre == '{' || pre == ',') && post == '=' {
+            return true;
+        }
+        from = abs + key.len();
+    }
+    false
+}
+
+/// Check one manifest; returns D7 findings with `file:line` anchors.
+pub fn check(rel_path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    let mut expanded_dep = false; // inside [dependencies.foo]
+    for (idx, raw) in source.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let name = line.trim_start_matches('[').trim_end_matches(']');
+            in_dep_section = is_dep_section(name);
+            expanded_dep = in_dep_section && name.contains("dependencies.");
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let violation = if expanded_dep {
+            // Inside [dependencies.foo]: the keys themselves are the
+            // table entries; version/git/registry keys are the hazard.
+            ["version", "git", "registry", "branch", "rev", "tag"]
+                .contains(&key.trim())
+        } else {
+            !entry_is_hermetic(key, value)
+        };
+        if violation {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: RuleId::D7,
+                severity: RuleId::D7.severity(),
+                message: format!(
+                    "`{}`: {}",
+                    key.trim(),
+                    RuleId::D7.summary()
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Strip a `#` comment from a TOML line (quote-aware).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_inheritance_is_hermetic() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[dependencies]\nnetsim.workspace = true\nexec.workspace = true\n";
+        assert!(check("crates/x/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn path_tables_are_hermetic() {
+        let src = "[workspace.dependencies]\nnetsim = { path = \"crates/netsim\" }\n";
+        assert!(check("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn registry_shorthand_is_flagged() {
+        let src = "[dependencies]\nrand = \"0.8\"\n";
+        let hits = check("crates/x/Cargo.toml", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::D7);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn version_and_git_tables_are_flagged() {
+        let src = "[dev-dependencies]\na = { version = \"1\" }\nb = { git = \"https://example.org/b\" }\nc = { path = \"../c\" }\n";
+        let hits = check("crates/x/Cargo.toml", src);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+    }
+
+    #[test]
+    fn expanded_dep_tables_are_checked() {
+        let src = "[dependencies.serde]\nversion = \"1\"\nfeatures = [\"derive\"]\n";
+        let hits = check("crates/x/Cargo.toml", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn package_section_version_keys_are_fine() {
+        let src = "[package]\nversion.workspace = true\nedition.workspace = true\n\n[workspace.package]\nversion = \"0.1.0\"\n";
+        assert!(check("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_confuse_the_parser() {
+        let src = "[dependencies] # the deps\n# rand = \"0.8\"\nnetsim.workspace = true # path dep\n";
+        assert!(check("crates/x/Cargo.toml", src).is_empty());
+    }
+}

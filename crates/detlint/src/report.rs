@@ -1,0 +1,134 @@
+//! Rendering: human `file:line` output and machine-readable JSON lines.
+//!
+//! Both renderings are pure functions of the (already sorted) finding
+//! list, so two lints of the same tree are byte-identical — the JSON
+//! form is designed to be diffed, archived next to experiment reports,
+//! and consumed by CI without a JSON parser dependency on our side
+//! (fields are emitted in a fixed order with minimal escaping).
+
+use crate::engine::Finding;
+use crate::rules::Severity;
+use std::fmt::Write as _;
+
+/// Counts by severity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tally {
+    /// Deny-tier findings (fail the gate).
+    pub deny: usize,
+    /// Warn-tier findings (advisory).
+    pub warn: usize,
+}
+
+/// Tally findings by severity.
+pub fn tally(findings: &[Finding]) -> Tally {
+    let deny = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    Tally {
+        deny,
+        warn: findings.len() - deny,
+    }
+}
+
+/// Human-readable report: one `file:line: severity[rule] message` per
+/// finding, plus a summary line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{f}");
+    }
+    let t = tally(findings);
+    let _ = writeln!(
+        out,
+        "detlint: {} finding{} ({} deny, {} warn)",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        t.deny,
+        t.warn
+    );
+    out
+}
+
+/// JSON-lines report: one object per finding, stable field order,
+/// sorted identically to the human report, trailing newline.
+pub fn render_json_lines(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.as_str(),
+            f.severity.as_str(),
+            json_escape(&f.message)
+        );
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(file: &str, line: usize, rule: RuleId) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            severity: rule.severity(),
+            message: format!("`tok`: {}", rule.summary()),
+        }
+    }
+
+    #[test]
+    fn json_lines_are_stable_and_parseable_shaped() {
+        let fs = vec![finding("src/a.rs", 3, RuleId::D5), finding("src/b.rs", 1, RuleId::D6)];
+        let a = render_json_lines(&fs);
+        let b = render_json_lines(&fs);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 2);
+        assert!(a.starts_with("{\"file\":\"src/a.rs\",\"line\":3,\"rule\":\"D5\",\"severity\":\"deny\""));
+        assert!(a.contains("\"severity\":\"warn\""));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tally_splits_tiers() {
+        let fs = vec![
+            finding("a", 1, RuleId::D1),
+            finding("a", 2, RuleId::D6),
+            finding("a", 3, RuleId::D6),
+        ];
+        assert_eq!(tally(&fs), Tally { deny: 1, warn: 2 });
+        let human = render_human(&fs);
+        assert!(human.contains("3 findings (1 deny, 2 warn)"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The rule set: the workspace's determinism & hermeticity contract,
+//! expressed as lexical patterns over blanked source lines.
+//!
+//! Every rule traces to a clause of the reproducibility contract (see
+//! DESIGN.md §8): a simulation must be a pure function of its seed, at
+//! any worker count, on any machine, with no registry access. The rules
+//! are lexical on purpose — they run before any build, cannot be fooled
+//! by `cfg` tricks the lexer already strips, and their false positives
+//! are handled by scoped, reasoned suppression pragmas rather than by
+//! weakening the rule.
+
+use crate::lexer::is_ident_char;
+
+/// Rule identifiers. `D*` rules encode the determinism/hermeticity
+/// contract; `P0` polices the suppression mechanism itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Unordered-map types in non-test library code.
+    D1,
+    /// Wall-clock / host-topology reads outside the timing crates.
+    D2,
+    /// Ad-hoc concurrency primitives outside the exec runtime.
+    D3,
+    /// Entropy-based or ambient RNG construction.
+    D4,
+    /// Panicking calls in library code (typed errors required).
+    D5,
+    /// NaN-unsafe float comparison (`total_cmp` is mandated).
+    D6,
+    /// Non-workspace dependency in a manifest.
+    D7,
+    /// Suppression pragma without a `-- reason` (or unknown rule id).
+    P0,
+}
+
+/// How severe a finding is: `Deny` fails the tier-1 gate, `Warn` is
+/// advisory and printed but never fails a build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: printed, never fatal.
+    Warn,
+    /// Contract violation: fails `verify.sh` and the self-apply test.
+    Deny,
+}
+
+impl Severity {
+    /// Stable label for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl RuleId {
+    /// Stable rule name (`"D1"` ... `"P0"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::P0 => "P0",
+        }
+    }
+
+    /// Parse a rule name as written in a pragma.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
+            "D6" => Some(RuleId::D6),
+            "D7" => Some(RuleId::D7),
+            "P0" => Some(RuleId::P0),
+            _ => None,
+        }
+    }
+
+    /// Default severity tier of the rule.
+    pub fn severity(&self) -> Severity {
+        match self {
+            // D6 is advisory: `partial_cmp` is NaN-unsafe but its
+            // callers sometimes handle the `None` deliberately; the
+            // deny-tier rules have no such legitimate escape hatch.
+            RuleId::D6 => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+
+    /// One-line rationale, traced to the contract.
+    pub fn summary(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "unordered map in library code: iteration order varies per process; use BTreeMap/BTreeSet or an explicit sort",
+            RuleId::D2 => "wall-clock or host-topology read outside crates/bench, crates/exec, src/cli.rs: results must not depend on when/where they run",
+            RuleId::D3 => "concurrency primitive outside crates/exec: all parallelism goes through the deterministic runtime",
+            RuleId::D4 => "entropy-based RNG construction: SimRng must be built from an explicit seed or derive_seed",
+            RuleId::D5 => "panicking call in library code: return a typed error (MeasureError et al.) per the graceful-degradation policy",
+            RuleId::D6 => "NaN-unsafe float comparison: total_cmp is mandated for ordering floats",
+            RuleId::D7 => "non-workspace dependency: the build must succeed offline with the registry unreachable",
+            RuleId::P0 => "suppression pragma must name known rules and carry a `-- reason`",
+        }
+    }
+}
+
+/// Every rule id, in report order.
+pub const ALL_RULES: [RuleId; 8] = [
+    RuleId::D1,
+    RuleId::D2,
+    RuleId::D3,
+    RuleId::D4,
+    RuleId::D5,
+    RuleId::D6,
+    RuleId::D7,
+    RuleId::P0,
+];
+
+/// A lexical pattern over a blanked code line.
+#[derive(Debug, Clone, Copy)]
+pub enum Pattern {
+    /// A bare identifier with word boundaries (`HashMap`).
+    Ident(&'static str),
+    /// Any identifier starting with this prefix (`Atomic*`).
+    IdentPrefix(&'static str),
+    /// A method call: `.name(` with optional whitespace.
+    Method(&'static str),
+    /// A macro invocation: `name!`.
+    Macro(&'static str),
+    /// A path fragment matched verbatim with ident boundaries at both
+    /// ends (`thread::spawn`).
+    Path(&'static str),
+}
+
+impl Pattern {
+    /// The token the pattern looks for (used in messages).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Pattern::Ident(t)
+            | Pattern::IdentPrefix(t)
+            | Pattern::Method(t)
+            | Pattern::Macro(t)
+            | Pattern::Path(t) => t,
+        }
+    }
+
+    /// Does the pattern match anywhere in `line` (blanked code)?
+    pub fn matches(&self, line: &str) -> bool {
+        match self {
+            Pattern::Ident(t) => find_ident(line, t, true).is_some(),
+            Pattern::IdentPrefix(t) => find_ident(line, t, false).is_some(),
+            Pattern::Method(t) => {
+                let mut from = 0;
+                while let Some(at) = find_ident(&line[from..], t, true) {
+                    let abs = from + at;
+                    let before = line[..abs].trim_end();
+                    let after = line[abs + t.len()..].trim_start();
+                    if before.ends_with('.') && after.starts_with('(') {
+                        return true;
+                    }
+                    from = abs + t.len();
+                }
+                false
+            }
+            Pattern::Macro(t) => {
+                let mut from = 0;
+                while let Some(at) = find_ident(&line[from..], t, true) {
+                    let abs = from + at;
+                    if line[abs + t.len()..].trim_start().starts_with('!') {
+                        return true;
+                    }
+                    from = abs + t.len();
+                }
+                false
+            }
+            Pattern::Path(t) => {
+                let mut from = 0;
+                while let Some(at) = line[from..].find(t) {
+                    let abs = from + at;
+                    let pre_ok = abs == 0
+                        || !is_ident_char(line[..abs].chars().next_back().unwrap_or(' '));
+                    let post = line[abs + t.len()..].chars().next().unwrap_or(' ');
+                    if pre_ok && !is_ident_char(post) {
+                        return true;
+                    }
+                    from = abs + t.len();
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Find `needle` as an identifier in `hay`: the char before must not be
+/// an ident char, and (when `bounded_end`) neither the char after.
+fn find_ident(hay: &str, needle: &str, bounded_end: bool) -> Option<usize> {
+    let mut from = 0;
+    while let Some(at) = hay[from..].find(needle) {
+        let abs = from + at;
+        let pre_ok = abs == 0 || !is_ident_char(hay[..abs].chars().next_back().unwrap_or(' '));
+        let post = hay[abs + needle.len()..].chars().next().unwrap_or(' ');
+        let post_ok = !bounded_end || !is_ident_char(post);
+        if pre_ok && post_ok {
+            return Some(abs);
+        }
+        from = abs + needle.len();
+    }
+    None
+}
+
+/// A token rule: which patterns fire it, and which path prefixes are
+/// exempt (the places where the primitive legitimately lives).
+pub struct TokenRule {
+    /// The rule this pattern set belongs to.
+    pub id: RuleId,
+    /// Patterns that fire the rule.
+    pub patterns: &'static [Pattern],
+    /// Path prefixes (workspace-relative, `/`-separated) where the rule
+    /// does not apply, with the rationale documented here.
+    pub exempt_prefixes: &'static [&'static str],
+}
+
+/// The token rules (D1–D6). D7 runs over manifests (see
+/// [`crate::manifest`]); P0 is emitted by the engine's pragma pass.
+pub const TOKEN_RULES: [TokenRule; 6] = [
+    TokenRule {
+        id: RuleId::D1,
+        patterns: &[Pattern::Ident("HashMap"), Pattern::Ident("HashSet")],
+        exempt_prefixes: &[],
+    },
+    TokenRule {
+        id: RuleId::D2,
+        patterns: &[
+            Pattern::Ident("Instant"),
+            Pattern::Ident("SystemTime"),
+            Pattern::Ident("available_parallelism"),
+        ],
+        // The bench harness measures wall-clock by design; the exec
+        // runtime sizes its default pool from the host topology (worker
+        // count never changes results); the CLI parses --jobs.
+        exempt_prefixes: &["crates/bench/", "crates/exec/", "src/cli.rs"],
+    },
+    TokenRule {
+        id: RuleId::D3,
+        patterns: &[
+            Pattern::Path("thread::spawn"),
+            Pattern::Ident("Mutex"),
+            Pattern::Ident("RwLock"),
+            Pattern::Ident("Condvar"),
+            Pattern::Ident("mpsc"),
+            Pattern::IdentPrefix("Atomic"),
+        ],
+        // The deterministic work-stealing runtime is the one place
+        // where threads and synchronization are allowed to live.
+        exempt_prefixes: &["crates/exec/"],
+    },
+    TokenRule {
+        id: RuleId::D4,
+        patterns: &[
+            Pattern::Ident("thread_rng"),
+            Pattern::Ident("from_entropy"),
+            Pattern::Ident("getrandom"),
+            Pattern::Ident("RandomState"),
+            Pattern::Path("rand::random"),
+        ],
+        exempt_prefixes: &[],
+    },
+    TokenRule {
+        id: RuleId::D5,
+        patterns: &[
+            Pattern::Method("unwrap"),
+            Pattern::Method("expect"),
+            Pattern::Macro("panic"),
+            Pattern::Macro("unreachable"),
+            Pattern::Macro("todo"),
+            Pattern::Macro("unimplemented"),
+        ],
+        // proplite is the property-testing framework: panicking on a
+        // failed case IS its contract, mirroring verify.sh's historical
+        // allowlist entry.
+        exempt_prefixes: &["crates/proplite/"],
+    },
+    TokenRule {
+        id: RuleId::D6,
+        patterns: &[Pattern::Method("partial_cmp")],
+        exempt_prefixes: &[],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_respects_boundaries() {
+        let p = Pattern::Ident("HashMap");
+        assert!(p.matches("use std::collections::HashMap;"));
+        assert!(p.matches("let m: HashMap<u32, u32> = x;"));
+        assert!(!p.matches("let m = MyHashMapWrapper::new();"));
+        assert!(!p.matches("let hash_map = 1;"));
+    }
+
+    #[test]
+    fn method_requires_dot_and_call() {
+        let p = Pattern::Method("unwrap");
+        assert!(p.matches("x.unwrap()"));
+        assert!(p.matches("x . unwrap ( )"));
+        assert!(!p.matches("x.unwrap_or(0)"));
+        assert!(!p.matches("fn unwrap(&self) {"));
+        assert!(!p.matches("unwrap(x)"));
+    }
+
+    #[test]
+    fn macro_requires_bang() {
+        let p = Pattern::Macro("panic");
+        assert!(p.matches("panic!(\"boom\")"));
+        assert!(p.matches("core::panic!(\"boom\")"));
+        assert!(!p.matches("fn panic_policy() {"));
+        assert!(!p.matches("let panic = 1;"));
+    }
+
+    #[test]
+    fn path_matches_verbatim() {
+        let p = Pattern::Path("thread::spawn");
+        assert!(p.matches("std::thread::spawn(move || {})"));
+        assert!(!p.matches("my_thread::spawner()"));
+    }
+
+    #[test]
+    fn prefix_catches_the_atomic_family() {
+        let p = Pattern::IdentPrefix("Atomic");
+        assert!(p.matches("static N: AtomicUsize = AtomicUsize::new(0);"));
+        assert!(p.matches("use std::sync::atomic::AtomicBool;"));
+        assert!(!p.matches("let atomically = 3;"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in ALL_RULES {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(RuleId::parse("D9"), None);
+    }
+}

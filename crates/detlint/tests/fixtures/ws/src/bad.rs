@@ -1,0 +1,17 @@
+//! Fixture: one seeded violation per token rule, in rule order.
+//! Never compiled — this tree exists only to be linted.
+
+use std::collections::HashMap;
+
+pub fn violations() {
+    let t0 = Instant::now();
+    let handle = thread::spawn(run_worker);
+    let mut rng = thread_rng();
+    let value = maybe().unwrap();
+    let order = a.partial_cmp(&b);
+}
+
+pub fn reasonless() {
+    // detlint:allow(D5)
+    let v = maybe().unwrap();
+}

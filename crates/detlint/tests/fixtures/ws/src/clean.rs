@@ -1,0 +1,33 @@
+//! Fixture: compliant code the linter must stay silent on, including
+//! forbidden tokens hidden where the lexer must not look.
+
+use std::collections::BTreeMap;
+
+pub fn compliant(xs: &mut Vec<f64>) -> BTreeMap<u32, u32> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let note = "strings may say HashMap or Instant::now() freely";
+    // Comments may say thread::spawn or .unwrap() freely.
+    /* Even block comments mentioning thread_rng() and panic! are fine. */
+    let _ = note;
+    BTreeMap::new()
+}
+
+pub fn boundary_lookalikes() {
+    // Identifier boundaries: these are not the forbidden tokens.
+    struct HashMapLike;
+    let _ = HashMapLike;
+    let fallback = maybe().unwrap_or(0);
+    let _ = fallback;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_panic_and_hash() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: violations silenced by well-formed, reasoned pragmas.
+
+pub fn justified() {
+    // detlint:allow(D5) -- fixture: invariant documented at the call site
+    let value = maybe().unwrap();
+    // detlint:allow(D1, D6) -- fixture: two rules silenced by one pragma
+    let pair = (HashMap::new(), a.partial_cmp(&b));
+    let trailing = other().unwrap(); // detlint:allow(D5) -- fixture: trailing form
+    let _ = (value, pair, trailing);
+}

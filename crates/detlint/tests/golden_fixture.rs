@@ -1,0 +1,62 @@
+//! Golden run over the fixture tree in `tests/fixtures/ws`.
+//!
+//! The fixture workspace seeds one violation per rule (`src/bad.rs`),
+//! compliant look-alikes (`src/clean.rs`), reasoned suppressions
+//! (`src/suppressed.rs`), and a manifest mixing hermetic and forbidden
+//! dependency forms. The whole report — files, lines, rules, order —
+//! is pinned here, so any drift in the scanner or the rule set shows
+//! up as a diff against this golden list.
+
+use detlint::{lint_workspace, render_human, render_json_lines, tally, RuleId};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// `(file, line, rule)` for every expected finding, in report order.
+const GOLDEN: [(&str, usize, RuleId); 12] = [
+    (&"Cargo.toml", 13, RuleId::D7),
+    (&"Cargo.toml", 14, RuleId::D7),
+    (&"Cargo.toml", 15, RuleId::D7),
+    (&"Cargo.toml", 18, RuleId::D7),
+    (&"Cargo.toml", 21, RuleId::D7),
+    (&"src/bad.rs", 4, RuleId::D1),
+    (&"src/bad.rs", 7, RuleId::D2),
+    (&"src/bad.rs", 8, RuleId::D3),
+    (&"src/bad.rs", 9, RuleId::D4),
+    (&"src/bad.rs", 10, RuleId::D5),
+    (&"src/bad.rs", 11, RuleId::D6),
+    (&"src/bad.rs", 15, RuleId::P0),
+];
+
+#[test]
+fn fixture_report_matches_golden() {
+    let findings = lint_workspace(&fixture_root()).expect("lint fixture tree");
+    let got: Vec<(&str, usize, RuleId)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect();
+    let want: Vec<(&str, usize, RuleId)> = GOLDEN.to_vec();
+    assert_eq!(got, want, "human report:\n{}", render_human(&findings));
+    // 11 deny + 1 warn (D6): the fixture gate is red, as designed.
+    let t = tally(&findings);
+    assert_eq!((t.deny, t.warn), (11, 1));
+}
+
+#[test]
+fn fixture_json_is_byte_identical_across_runs() {
+    let a = render_json_lines(&lint_workspace(&fixture_root()).expect("first run"));
+    let b = render_json_lines(&lint_workspace(&fixture_root()).expect("second run"));
+    assert_eq!(a, b);
+    assert_eq!(a.lines().count(), GOLDEN.len());
+    // Spot-check the shape of one line end to end.
+    assert!(
+        a.contains(concat!(
+            "{\"file\":\"src/bad.rs\",\"line\":10,\"rule\":\"D5\",",
+            "\"severity\":\"deny\",\"message\":\"`unwrap`: panicking call in library code: ",
+            "return a typed error (MeasureError et al.) per the graceful-degradation policy\"}"
+        )),
+        "json:\n{a}"
+    );
+}

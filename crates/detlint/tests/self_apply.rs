@@ -1,0 +1,34 @@
+//! Self-application: the linter's own workspace must lint deny-clean.
+//!
+//! This is the tentpole acceptance test — every rule D1–D7 runs over
+//! the real tree (including detlint's own source), and any deny-tier
+//! finding fails the suite. Warn-tier findings are advisory and do not
+//! gate, matching the CLI's exit-code policy.
+
+use detlint::{lint_workspace, render_json_lines, Severity};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_lints_deny_clean() {
+    let findings = lint_workspace(&workspace_root()).expect("lint workspace");
+    let deny: Vec<_> = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "deny-tier findings in the workspace:\n{}",
+        deny.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
+
+#[test]
+fn workspace_json_is_byte_stable() {
+    let a = render_json_lines(&lint_workspace(&workspace_root()).expect("first run"));
+    let b = render_json_lines(&lint_workspace(&workspace_root()).expect("second run"));
+    assert_eq!(a, b);
+}

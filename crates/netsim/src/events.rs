@@ -36,8 +36,7 @@ impl<T> Ord for Entry<T> {
         // ties by insertion order (earlier seq first).
         other
             .at
-            .partial_cmp(&self.at)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.at)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

@@ -375,6 +375,7 @@ impl<S: Shaper> Fabric<S> {
         // Deliver bits and collect completions.
         let mut completed = Vec::new();
         for (id, r) in rates {
+            // detlint:allow(D5) -- invariant: `rates` was computed from `self.flows` this step
             let f = self.flows.get_mut(&id).expect("flow vanished");
             let want = (r * dt).min(f.remaining_bits);
             let delivered = want * node_scale[f.spec.src];

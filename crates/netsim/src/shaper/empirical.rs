@@ -57,7 +57,7 @@ impl QuantileDist {
     /// Inverse CDF at probability `p` (clamped to the defined range).
     pub fn quantile(&self, p: f64) -> f64 {
         let first = self.points[0];
-        let last = *self.points.last().unwrap();
+        let last = *self.points.last().unwrap_or(&first);
         if p <= first.0 {
             return first.1;
         }

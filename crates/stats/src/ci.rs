@@ -175,6 +175,7 @@ pub fn median_ci(samples: &[f64]) -> Option<QuantileCi> {
 pub fn min_samples_for_ci(p: f64, conf: f64) -> usize {
     (2..100_000)
         .find(|&n| ci_ranks(n, p, conf).is_some())
+        // detlint:allow(D5) -- math: binomial ranks become feasible for every p/conf long before n = 100000
         .expect("no feasible n below 100000")
 }
 

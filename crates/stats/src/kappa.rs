@@ -7,18 +7,23 @@
 
 /// Cohen's Kappa for two raters' labels over the same items.
 ///
-/// Labels are arbitrary `Eq` values; the slices must be equally long
+/// Labels are arbitrary `Ord` values; the slices must be equally long
 /// and non-empty. Returns κ = (p_o − p_e) / (1 − p_e); if the raters
 /// agree perfectly *and* expected agreement is 1 (both constant and
 /// equal), returns 1.0.
-pub fn cohens_kappa<T: Eq + std::hash::Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+///
+/// The per-label tallies live in `BTreeMap`s so the expected-agreement
+/// sum is accumulated in label order: float addition is not
+/// associative, and a hash map would make the last bits of κ depend on
+/// the process's hash seed (detlint rule D1).
+pub fn cohens_kappa<T: Ord>(a: &[T], b: &[T]) -> f64 {
     assert_eq!(a.len(), b.len(), "raters must score the same items");
     assert!(!a.is_empty(), "no items to score");
     let n = a.len() as f64;
 
-    use std::collections::HashMap;
-    let mut count_a: HashMap<&T, f64> = HashMap::new();
-    let mut count_b: HashMap<&T, f64> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut count_a: BTreeMap<&T, f64> = BTreeMap::new();
+    let mut count_b: BTreeMap<&T, f64> = BTreeMap::new();
     let mut observed = 0.0;
     for (x, y) in a.iter().zip(b) {
         *count_a.entry(x).or_insert(0.0) += 1.0;
@@ -118,5 +123,18 @@ mod tests {
     #[should_panic(expected = "same items")]
     fn rejects_length_mismatch() {
         cohens_kappa(&[1, 2], &[1]);
+    }
+
+    /// Regression pin: κ over a multi-category labeling, down to the
+    /// last bit. The expected-agreement term sums one product per label;
+    /// with the BTreeMap tallies that sum always runs in label order, so
+    /// this exact bit pattern is stable across processes and platforms.
+    /// A HashMap regression would make this test flake across runs.
+    #[test]
+    fn kappa_bits_are_pinned_for_multi_category_labels() {
+        let a = [3u8, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3];
+        let b = [3u8, 1, 4, 2, 5, 9, 2, 6, 5, 3, 5, 9, 7, 7, 9, 2];
+        let k = cohens_kappa(&a, &b);
+        assert_eq!(k.to_bits(), 0x3FE6D0EEC7BFB687, "kappa {k}");
     }
 }

@@ -1,7 +1,8 @@
 //! Article records and reporting attributes.
 
-/// Publication venue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Publication venue. `Ord` follows declaration (Table 2) order so the
+/// venue can key deterministic `BTreeMap`s (detlint rule D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Venue {
     /// USENIX NSDI.
     Nsdi,

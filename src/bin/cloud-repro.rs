@@ -20,7 +20,7 @@ use cloud_repro::cli::{
 };
 use cloud_repro::prelude::*;
 use netsim::units::hours;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn cmd_list() {
@@ -39,7 +39,7 @@ fn cmd_list() {
     println!("patterns: full-speed 10-30 5-30");
 }
 
-fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_campaign(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
     let h = get_f64(flags, "hours", 1.0)?;
@@ -63,7 +63,7 @@ fn cmd_campaign(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_probe(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let n = get_u64(flags, "probes", 15)? as usize;
     let seed = get_u64(flags, "seed", 1)?;
@@ -100,7 +100,7 @@ fn cmd_probe(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fingerprint(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_fingerprint(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let seed = get_u64(flags, "seed", 1)?;
     let with_bucket = flags.contains_key("bucket");
@@ -122,7 +122,7 @@ fn cmd_fingerprint(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
     let h = get_f64(flags, "hours", 1.0)?;
@@ -161,7 +161,7 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let job = workload_by_name(flags.get("workload").ok_or("--workload required")?)?;
     let reps = get_u64(flags, "reps", 10)? as usize;
@@ -185,7 +185,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let cloud = cloud_by_name(flags.get("cloud").ok_or("--cloud required")?)?;
     let job = workload_by_name(flags.get("workload").ok_or("--workload required")?)?;
     let pilot = get_u64(flags, "pilot", 20)? as usize;
@@ -223,6 +223,21 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `cloud-repro detlint [--root DIR] [--json]` — run the determinism &
+/// hermeticity linter over the workspace. Returns `Ok(true)` when the
+/// gate is clean (no deny-tier findings).
+fn cmd_detlint(flags: &BTreeMap<String, String>) -> Result<bool, String> {
+    let root = flags.get("root").map(|s| s.as_str()).unwrap_or(".");
+    let findings =
+        detlint::lint_workspace(std::path::Path::new(root)).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        print!("{}", detlint::render_json_lines(&findings));
+    } else {
+        print!("{}", detlint::render_human(&findings));
+    }
+    Ok(detlint::tally(&findings).deny == 0)
+}
+
 fn cmd_survey() {
     let res = survey::run_survey(&survey::generate());
     println!(
@@ -256,6 +271,7 @@ fn usage() {
     println!("  run --cloud C --workload W [--reps N] [--nodes N]");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
+    println!("  detlint [--root DIR] [--json]      lint against the determinism contract");
     println!();
     println!("global flags:");
     println!("  --jobs N    parallel workers (default: REPRO_JOBS env, then all");
@@ -296,6 +312,18 @@ fn main() -> ExitCode {
         "survey" => {
             cmd_survey();
             Ok(())
+        }
+        // detlint has its own exit-code contract (1 = deny findings,
+        // 2 = I/O error) and must not print usage on a red gate.
+        "detlint" => {
+            return match cmd_detlint(&flags) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::from(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            };
         }
         "help" | "--help" | "-h" => {
             usage();

@@ -6,14 +6,14 @@
 use repro_core::bigdata::{self, workloads};
 use repro_core::clouds;
 use repro_core::netsim::TrafficPattern;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parse `--key value` / `--flag` pairs into a map.
 ///
 /// A flag followed by another flag (or by nothing) is boolean and maps
 /// to `"true"`.
-pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+pub fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
@@ -94,7 +94,7 @@ pub fn pattern_by_name(name: &str) -> Result<TrafficPattern, String> {
 }
 
 /// Fetch a float flag with a default.
-pub fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+pub fn get_f64(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -104,7 +104,7 @@ pub fn get_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Resu
 }
 
 /// Fetch an integer flag with a default.
-pub fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+pub fn get_u64(flags: &BTreeMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -120,7 +120,7 @@ pub fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Resu
 ///
 /// Worker count never changes results (the runtime merges by task
 /// index), so this flag trades wall-clock time only.
-pub fn get_jobs(flags: &HashMap<String, String>) -> Result<Option<usize>, String> {
+pub fn get_jobs(flags: &BTreeMap<String, String>) -> Result<Option<usize>, String> {
     match flags.get("jobs") {
         None => Ok(None),
         Some(v) => match repro_core::exec::parse_jobs(v) {
