@@ -1,0 +1,206 @@
+//! Supplementary: the fabric stepping fast path on a fig19-style
+//! depletion campaign — wall-clock speedup next to unchanged goldens.
+//!
+//! The fast path (allocation-free water-filling into per-fabric scratch
+//! buffers, a signature-keyed rate cache, closed-form shaper rests) is
+//! contractually bit-identical to the reference loops
+//! (`force_reference_path`). This bench runs the same 600 s-of-
+//! simulated-time depletion campaign through both paths, CHECKs the
+//! golden trace hashes match exactly (and stay invariant across
+//! REPRO_JOBS=1/4), reports the speedup and the cache/allocation
+//! counters, and emits machine-readable `BENCH_fabric.json` so future
+//! PRs can track the perf trajectory.
+
+use bench::timer::bench;
+use bench::{banner, check, mmss};
+use repro_core::bigdata::engine::{run_job_cfg, EngineConfig};
+use repro_core::bigdata::workloads::tpcds;
+use repro_core::bigdata::Cluster;
+use repro_core::exec;
+use repro_core::netsim::fabric::{Fabric, FabricPerf, FlowSpec};
+use repro_core::netsim::rng::derive_seed;
+use repro_core::netsim::shaper::{Shaper, TokenBucket};
+use std::path::Path;
+use std::time::Instant;
+
+const NODES: usize = 12;
+const SEED: u64 = 2020;
+/// Simulated horizon per campaign: the paper's ~600 s time-to-empty
+/// scale (Figure 19's back-to-back repetitions in the same VMs).
+const HORIZON_S: f64 = 600.0;
+
+fn cfg() -> EngineConfig {
+    EngineConfig {
+        shuffle_step_s: 0.5,
+        compute_step_s: 2.0,
+        trace_interval_s: 10.0,
+        compute_jitter_sigma: 0.05,
+    }
+}
+
+/// One fig19-style campaign: Query 65 repetitions back-to-back in the
+/// same (depleting) cluster with brief rests, until 600 s of simulated
+/// time have elapsed. Returns (golden hash, reps, fabric perf).
+fn depletion_campaign(reference: bool, seed: u64) -> (u64, u64, FabricPerf) {
+    let cfg = cfg();
+    let job = tpcds::query(65);
+    let mut cluster = Cluster::ec2_emulated(NODES, 16, 1000.0);
+    cluster.fabric_mut().force_reference_path(reference);
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    let mut reps = 0u64;
+    while cluster.fabric().now() < HORIZON_S {
+        let r = run_job_cfg(&mut cluster, &job, derive_seed(seed, reps), &cfg);
+        eat(r.duration_s.to_bits());
+        eat(r.started_at_s.to_bits());
+        for &tx in &r.node_tx_bits {
+            eat(tx.to_bits());
+        }
+        cluster.rest(5.0, 1.0);
+        reps += 1;
+    }
+    eat(cluster.fabric().now().to_bits());
+    for v in 0..NODES {
+        eat(cluster.fabric().node_total_tx_bits(v).to_bits());
+        if let Some(b) = cluster.fabric().node_shaper(v).token_budget_bits() {
+            eat(b.to_bits());
+        }
+    }
+    (h, reps, cluster.fabric().perf())
+}
+
+fn main() {
+    banner(
+        "Supp. fabric",
+        "Stepping fast path: fig19-scale speedup with bit-identical goldens",
+    );
+    println!(
+        "  workload: {NODES}-node EC2-emulated cluster, Q65 back-to-back, {} of simulated time",
+        mmss(HORIZON_S)
+    );
+
+    // Reference path first (its counters tell us what the fast path
+    // gets to skip), then the fast path. Each path runs the identical
+    // campaign several times; the best run is the least-noisy estimate
+    // of its cost on this machine.
+    const TIMING_RUNS: usize = 5;
+    let time_path = |reference: bool| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..TIMING_RUNS {
+            let t0 = Instant::now();
+            let r = depletion_campaign(reference, SEED);
+            best = best.min(t0.elapsed().as_secs_f64());
+            out = Some(r);
+        }
+        let (hash, reps, perf) = out.expect("at least one timing run");
+        (hash, reps, perf, best)
+    };
+
+    let (hash_ref, reps_ref, perf_ref, t_ref) = time_path(true);
+    println!(
+        "  reference: {:.1} ms wall (best of {TIMING_RUNS}), {reps_ref} reps, {} steps, {} vec allocs, hash {hash_ref:016x}",
+        t_ref * 1e3,
+        perf_ref.steps,
+        perf_ref.ref_vec_allocs
+    );
+
+    let (hash_fast, reps_fast, perf_fast, t_fast) = time_path(false);
+    let hit_rate = perf_fast.cache_hit_rate();
+    println!(
+        "  fast:      {:.1} ms wall (best of {TIMING_RUNS}), {reps_fast} reps, {} steps, {} recomputes / {} cache hits ({:.1}% hit), hash {hash_fast:016x}",
+        t_fast * 1e3,
+        perf_fast.steps,
+        perf_fast.rate_recomputes,
+        perf_fast.rate_cache_hits,
+        hit_rate * 100.0
+    );
+
+    let speedup = t_ref / t_fast;
+    let steps_per_sec = perf_fast.steps as f64 / t_fast;
+    println!("  speedup: {speedup:.2}x   fast path: {steps_per_sec:.0} fabric steps/s");
+
+    // REPRO_JOBS invariance through the fast path: shard 8 campaign
+    // seeds across 1 and 4 workers and compare the combined goldens.
+    let fleet = |jobs: usize| -> u64 {
+        let seeds: Vec<u64> = (0..8).collect();
+        let hashes = exec::par_map(jobs, &seeds, |&s| {
+            depletion_campaign(false, derive_seed(SEED, s)).0
+        });
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for x in hashes {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    };
+    let fleet_1 = fleet(1);
+    let fleet_4 = fleet(4);
+    println!("  fleet goldens: jobs=1 {fleet_1:016x}, jobs=4 {fleet_4:016x}");
+
+    // Micro-kernels: a steady-state cache-hit step vs a forced
+    // reference step on an identical 132-flow fabric.
+    let mk_loaded = |reference: bool| {
+        let mut f = Fabric::new();
+        for _ in 0..NODES {
+            f.add_node(TokenBucket::sigma_rho(5e12, 1e9, 10e9), 10e9);
+        }
+        f.force_reference_path(reference);
+        for s in 0..NODES {
+            for d in 0..NODES {
+                if s != d {
+                    f.start_flow(FlowSpec::new(s, d, 1e18));
+                }
+            }
+        }
+        f.step(0.1); // settle the scratch buffers / first allocation
+        f
+    };
+    let mut fast = mk_loaded(false);
+    let micro_fast = bench("step (fast, cache hit)", || {
+        fast.step(0.1);
+    });
+    let mut refr = mk_loaded(true);
+    let micro_ref = bench("step (reference)", || {
+        refr.step(0.1);
+    });
+    println!(
+        "  micro step speedup: {:.2}x",
+        micro_ref.median_ns / micro_fast.median_ns
+    );
+
+    // Machine-readable perf trajectory.
+    let json = format!(
+        "{{\n  \"bench\": \"supp_fabric_speedup\",\n  \"workload\": \"fig19_depletion_600s_q65\",\n  \"speedup\": {speedup:.3},\n  \"wall_s_reference\": {t_ref:.3},\n  \"wall_s_fast\": {t_fast:.3},\n  \"steps_per_sec_fast\": {steps_per_sec:.1},\n  \"fabric_steps\": {},\n  \"rate_recomputes\": {},\n  \"rate_cache_hits\": {},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"allocations_avoided\": {},\n  \"micro_step_fast_ns\": {:.1},\n  \"micro_step_reference_ns\": {:.1},\n  \"golden_hash\": \"{hash_fast:016x}\",\n  \"goldens_match_reference\": {},\n  \"jobs_invariant\": {}\n}}\n",
+        perf_fast.steps,
+        perf_fast.rate_recomputes,
+        perf_fast.rate_cache_hits,
+        perf_ref.ref_vec_allocs,
+        micro_fast.median_ns,
+        micro_ref.median_ns,
+        hash_fast == hash_ref,
+        fleet_1 == fleet_4,
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fabric.json");
+    std::fs::write(&out, &json).expect("write BENCH_fabric.json");
+    println!("  wrote {}", out.display());
+
+    check(
+        "golden trace hashes identical between fast and reference paths",
+        hash_fast == hash_ref && reps_fast == reps_ref,
+    );
+    check(
+        "fast-path goldens invariant across REPRO_JOBS=1/4",
+        fleet_1 == fleet_4,
+    );
+    check(
+        "rate cache engages on the depletion campaign (>90% hits)",
+        hit_rate > 0.9,
+    );
+    check(">=5x wall-clock speedup on the 600 s campaign", speedup >= 5.0);
+    println!();
+}

@@ -26,15 +26,18 @@ pub fn box_row(label: &str, b: &BoxSummary, unit: &str) {
     );
 }
 
-/// Downsample a series to at most `n` evenly-spaced points.
+/// Downsample a series to at most `n` evenly-spaced points, always
+/// keeping the first and last sample — figure tails (e.g. a
+/// post-depletion plateau) must not be truncated.
 pub fn downsample(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
     if series.len() <= n || n == 0 {
         return series.to_vec();
     }
-    let step = series.len() as f64 / n as f64;
-    (0..n)
-        .map(|i| series[(i as f64 * step) as usize])
-        .collect()
+    let last = series.len() - 1;
+    if n == 1 {
+        return vec![series[last]];
+    }
+    (0..n).map(|i| series[i * last / (n - 1)]).collect()
 }
 
 /// Render a compact ASCII sparkline of a series' y-values.
@@ -89,6 +92,26 @@ mod tests {
         assert_eq!(d[0], (0.0, 0.0));
         let short = downsample(&series[..10], 50);
         assert_eq!(short.len(), 10);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        // Regression: the old stride indexing dropped the final sample,
+        // silently truncating figure tails.
+        let series: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64)).collect();
+        for n in [1, 2, 3, 7, 50, 999] {
+            let d = downsample(&series, n);
+            assert_eq!(*d.last().unwrap(), (999.0, 999.0), "n={n} lost the tail");
+            if n > 1 {
+                assert_eq!(d[0], (0.0, 0.0), "n={n} lost the head");
+            }
+            assert_eq!(d.len(), n.min(series.len()));
+            // Still monotone (indices non-decreasing, no duplicates from
+            // rounding when n << len).
+            for w in d.windows(2) {
+                assert!(w[1].0 > w[0].0, "n={n} not strictly increasing");
+            }
+        }
     }
 
     #[test]

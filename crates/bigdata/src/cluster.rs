@@ -83,6 +83,14 @@ impl<S: Shaper> Cluster<S> {
     /// (token refill; cross traffic keeps flowing, unlike
     /// [`Fabric::rest`] which requires an empty fabric).
     pub fn rest(&mut self, duration: f64, dt: f64) {
+        if self.cross_traffic.is_none() && self.fabric.active_flows() == 0 {
+            // Nothing contends: every step would be an idle fabric step
+            // (each shaper granted exactly 0.0, totals unchanged), which
+            // is precisely what Fabric::rest's closed-form shaper rests
+            // reproduce bit-for-bit — without the per-tick loop.
+            self.fabric.rest(duration, dt);
+            return;
+        }
         let steps = (duration / dt).round().max(0.0) as u64;
         for _ in 0..steps {
             self.step(dt);

@@ -15,6 +15,29 @@
 //! an experiment needs to never touch the low-rate regime.
 
 use crate::probe::BucketEstimate;
+use netsim::shaper::Shaper;
+
+/// Execute a planned rest against a shaper: advance it through
+/// `rest_s / dt` idle ticks starting at `now`, returning the simulated
+/// time after the rest.
+///
+/// This is the measure-side resting protocol. It delegates to
+/// [`Shaper::rest`], whose contract guarantees the result is bitwise
+/// identical to stepping `transmit(t, dt, 0.0)` in a loop — but closed
+/// forms (token refill saturates, constant shapers are stateless) let
+/// multi-minute rests cost O(1) instead of O(rest_s / dt).
+pub fn execute_rest<S: Shaper>(shaper: &mut S, now: f64, rest_s: f64, dt: f64) -> f64 {
+    assert!(dt > 0.0, "rest step must be positive");
+    let steps = (rest_s / dt).round().max(0.0) as u64;
+    shaper.rest(now, dt, steps);
+    // The clock advances by repeated `+= dt`, exactly as the explicit
+    // loop would, so downstream timestamps stay bit-identical.
+    let mut t = now;
+    for _ in 0..steps {
+        t += dt;
+    }
+    t
+}
 
 /// Rest-duration planning from a probed token bucket.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +129,22 @@ impl RestPlanner {
             consumed / self.refill_bps
         }
     }
+
+    /// Apply [`Self::rest_needed_s`] to an actual shaper: idle it at
+    /// step `dt` until at least `target_fraction` of the budget (for
+    /// `consumed_bits` of prior consumption) is restored. Returns the
+    /// simulated time after the rest.
+    pub fn execute_rest_needed<S: Shaper>(
+        &self,
+        shaper: &mut S,
+        now: f64,
+        consumed_bits: f64,
+        target_fraction: f64,
+        dt: f64,
+    ) -> f64 {
+        let rest_s = self.rest_needed_s(consumed_bits, target_fraction);
+        execute_rest(shaper, now, rest_s, dt)
+    }
 }
 
 #[cfg(test)]
@@ -188,14 +227,44 @@ mod tests {
             tb.transmit(t, 0.1, f64::INFINITY);
             t += 0.1;
         }
-        let rest = p.rest_needed_s(100e9, 1.0);
-        let steps = (rest / 0.1) as usize;
-        for _ in 0..steps {
-            tb.transmit(t, 0.1, 0.0);
-            t += 0.1;
-        }
+        t = p.execute_rest_needed(&mut tb, t, 100e9, 1.0, 0.1);
         // Next second runs at ~10 Gbps again.
         let granted = tb.transmit(t, 1.0, f64::INFINITY);
         assert!(granted > 9.9e9, "granted {granted}");
+    }
+
+    #[test]
+    fn execute_rest_is_bitwise_equal_to_the_idle_loop() {
+        // The resting protocol's contract: delegating to Shaper::rest
+        // leaves the shaper and clock in exactly the state the explicit
+        // idle-transmit loop produces — compared bitwise, not within a
+        // tolerance.
+        use netsim::shaper::{Shaper, TokenBucket};
+        let mut fast = TokenBucket::sigma_rho(100e9, 1e9, 10e9);
+        let mut slow = fast.clone();
+        // Leave both in a mid-depletion state.
+        for s in [&mut fast, &mut slow] {
+            let mut t = 0.0;
+            for _ in 0..70 {
+                s.transmit(t, 0.1, f64::INFINITY);
+                t += 0.1;
+            }
+        }
+        let now = 7.0;
+        let t_fast = super::execute_rest(&mut fast, now, 33.7, 0.1);
+        let mut t_slow = now;
+        for _ in 0..(33.7f64 / 0.1).round() as usize {
+            slow.transmit(t_slow, 0.1, 0.0);
+            t_slow += 0.1;
+        }
+        assert_eq!(t_fast.to_bits(), t_slow.to_bits());
+        assert_eq!(
+            fast.budget_bits().to_bits(),
+            slow.budget_bits().to_bits()
+        );
+        // Subsequent traffic is also identical.
+        let g_fast = fast.transmit(t_fast, 0.5, f64::INFINITY);
+        let g_slow = slow.transmit(t_slow, 0.5, f64::INFINITY);
+        assert_eq!(g_fast.to_bits(), g_slow.to_bits());
     }
 }

@@ -63,6 +63,26 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// Empty queue with room for `capacity` events before reallocating
+    /// — callers that know their event population (e.g. one completion
+    /// per task in a stage) can avoid heap growth in the stepping loop.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `payload` at absolute time `at` (seconds).
     pub fn schedule(&mut self, at: f64, payload: T) {
         assert!(at.is_finite(), "event time must be finite");

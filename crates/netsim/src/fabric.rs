@@ -9,6 +9,32 @@
 //! allocated egress volume — so token-bucket depletion on *one* node
 //! slows exactly the flows that cross it, which is how the paper's
 //! stragglers arise (Figure 18).
+//!
+//! ## The stepping fast path
+//!
+//! Long campaigns (Figure 19's 600 s depletion sequences, multi-day
+//! fleet sweeps) spend nearly all their time in [`Fabric::step`], so the
+//! fabric keeps two engines with **bit-identical** observable behavior:
+//!
+//! * the **reference path** — the original loop that re-runs
+//!   water-filling from scratch every step, selected with
+//!   [`Fabric::force_reference_path`] or by setting the
+//!   `FABRIC_SLOW_PATH` environment variable;
+//! * the **fast path** (default) — hoists every per-step buffer into
+//!   per-fabric scratch storage (zero steady-state heap allocations),
+//!   maintains per-node active-flow counts incrementally instead of
+//!   rebuilding them every water-filling round, and caches the rate
+//!   allocation keyed by its exact inputs: the flow-set epoch, each
+//!   node's `rate_hint` × fault factor, each node's effective ingress
+//!   cap, and the core capacity. Water-filling is a pure function of
+//!   that signature (it never reads `remaining_bits`), so a bitwise
+//!   unchanged signature means the previous allocation can be reused
+//!   verbatim. Token-bucket hints are piecewise-constant, which
+//!   collapses long full-speed and depleted phases to O(nodes) per tick.
+//!
+//! The equivalence contract is pinned by `tests/prop_fabric_fast.rs`
+//! (random flow sets, shapers, faults, and rest windows stepped through
+//! both paths and compared bit-for-bit) and documented in DESIGN.md §9.
 
 use crate::faults::FaultSchedule;
 use crate::rng::SimRng;
@@ -63,6 +89,80 @@ struct Node<S> {
     total_tx_bits: f64,
 }
 
+/// Counters for the stepping fast path: how often water-filling ran,
+/// how often the cached allocation was reused, and how many `Vec`
+/// allocations the reference path would have performed. Read them with
+/// [`Fabric::perf`]; they are instrumentation only and never feed back
+/// into the simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FabricPerf {
+    /// Total [`Fabric::step`] calls (both paths).
+    pub steps: u64,
+    /// Steps whose input signature changed, forcing water-filling.
+    pub rate_recomputes: u64,
+    /// Steps that reused the cached allocation (signature bitwise equal).
+    pub rate_cache_hits: u64,
+    /// Steps taken with no flows at all (water-filling skipped outright).
+    pub empty_steps: u64,
+    /// Exact count of per-step `Vec` allocations performed by the
+    /// reference path (the fast path's steady state performs none; see
+    /// `tests/alloc_free.rs`). Incremented only while the reference
+    /// path is forced, so a reference run reports how many allocations
+    /// the fast path avoids.
+    pub ref_vec_allocs: u64,
+}
+
+impl FabricPerf {
+    /// Fraction of non-empty steps served from the rate cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let busy = self.rate_recomputes + self.rate_cache_hits;
+        if busy == 0 {
+            0.0
+        } else {
+            self.rate_cache_hits as f64 / busy as f64
+        }
+    }
+}
+
+/// Scratch buffers for the allocation-free stepping fast path. Every
+/// buffer is cleared and refilled in place, so in steady state (constant
+/// flow set, constant node count) no buffer ever reallocates.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Flow ids in `BTreeMap` key order (== iteration order); valid for
+    /// `sig_epoch`.
+    ids: Vec<FlowId>,
+    /// Flow specs aligned with `ids` (avoids per-flow map lookups).
+    specs: Vec<FlowSpec>,
+    /// The cached max-min allocation, aligned with `ids`.
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    /// Residual egress/ingress capacity during water-filling; start as
+    /// the gathered effective capacities.
+    egress: Vec<f64>,
+    ingress: Vec<f64>,
+    /// Unfrozen-flow counts per node for the current round.
+    eg_count: Vec<usize>,
+    in_count: Vec<usize>,
+    /// Flow indexes frozen in the current round; their count decrements
+    /// are applied only after the round's freeze sweep, matching the
+    /// reference path's rebuild-at-round-start reads.
+    round_frozen: Vec<usize>,
+    node_demand: Vec<f64>,
+    node_scale: Vec<f64>,
+    /// Per-flow `(rate*dt).min(remaining)` computed in the demand pass
+    /// and reused verbatim in the deliver pass.
+    want: Vec<f64>,
+    /// Flow-set epoch the cache was computed for.
+    sig_epoch: u64,
+    /// Core capacity bit pattern the cache was computed for.
+    sig_core: Option<u64>,
+    /// Effective egress (hint × fault factor) bit patterns per node.
+    sig_egress: Vec<u64>,
+    /// Effective ingress (cap × fault factor) bit patterns per node.
+    sig_ingress: Vec<u64>,
+}
+
 /// The fabric. Generic over the shaper type so callers that need to
 /// inspect shaper internals (e.g. token-bucket budgets for Figure 15/18)
 /// can use a concrete `Fabric<TokenBucket>`, while heterogeneous setups
@@ -79,6 +179,19 @@ pub struct Fabric<S> {
     /// Optional fault timeline: faulted nodes transmit and receive at
     /// zero/degraded rate for the fault window (`None` = no faults).
     faults: Option<FaultSchedule>,
+    /// Bumped whenever the flow set changes (start/completion/reset);
+    /// guards the spec-dependent half of the rate-cache signature.
+    flow_epoch: u64,
+    /// Per-node count of active flows sourced at this node, maintained
+    /// incrementally — the round-0 water-filling counts.
+    active_eg: Vec<usize>,
+    /// Per-node count of active flows destined to this node.
+    active_in: Vec<usize>,
+    scratch: StepScratch,
+    perf: FabricPerf,
+    /// When set, [`Fabric::step`] and [`Fabric::rest`] use the original
+    /// allocating loops (the equivalence baseline).
+    reference_path: bool,
 }
 
 impl<S: Shaper> Default for Fabric<S> {
@@ -88,8 +201,11 @@ impl<S: Shaper> Default for Fabric<S> {
 }
 
 impl<S: Shaper> Fabric<S> {
-    /// An empty fabric at t=0.
+    /// An empty fabric at t=0. The stepping fast path is on unless the
+    /// `FABRIC_SLOW_PATH` environment variable is set (to anything but
+    /// `0`), which forces the reference loops for A/B verification.
     pub fn new() -> Self {
+        let slow = std::env::var_os("FABRIC_SLOW_PATH").is_some_and(|v| v != "0");
         Fabric {
             nodes: Vec::new(),
             flows: BTreeMap::new(),
@@ -97,7 +213,37 @@ impl<S: Shaper> Fabric<S> {
             now_s: 0.0,
             core_capacity_bps: None,
             faults: None,
+            // Start at 1 so a fresh scratch (sig_epoch 0) never matches
+            // before its ids/specs mirror has been built.
+            flow_epoch: 1,
+            active_eg: Vec::new(),
+            active_in: Vec::new(),
+            scratch: StepScratch::default(),
+            perf: FabricPerf::default(),
+            reference_path: slow,
         }
+    }
+
+    /// Force (or release) the original allocating stepping loops. The
+    /// two paths are bit-identical — this exists so tests, benches, and
+    /// `verify.sh` can prove it.
+    pub fn force_reference_path(&mut self, on: bool) {
+        self.reference_path = on;
+    }
+
+    /// Whether the reference (slow) stepping path is active.
+    pub fn reference_path(&self) -> bool {
+        self.reference_path
+    }
+
+    /// Fast-path instrumentation counters.
+    pub fn perf(&self) -> FabricPerf {
+        self.perf
+    }
+
+    /// Zero the instrumentation counters.
+    pub fn reset_perf(&mut self) {
+        self.perf = FabricPerf::default();
     }
 
     /// Attach a fault schedule: from now on, [`Fabric::step`] scales
@@ -156,6 +302,8 @@ impl<S: Shaper> Fabric<S> {
             last_tx_bits: 0.0,
             total_tx_bits: 0.0,
         });
+        self.active_eg.push(0);
+        self.active_in.push(0);
         self.nodes.len() - 1
     }
 
@@ -192,6 +340,9 @@ impl<S: Shaper> Fabric<S> {
                 last_rate_bps: 0.0,
             },
         );
+        self.active_eg[spec.src] += 1;
+        self.active_in[spec.dst] += 1;
+        self.flow_epoch += 1;
         id
     }
 
@@ -227,7 +378,14 @@ impl<S: Shaper> Fabric<S> {
 
     /// Max-min fair rates for the current flow set, honoring per-node
     /// egress hints, per-node ingress caps, and per-flow caps.
-    fn compute_rates(&self) -> Vec<(FlowId, f64)> {
+    ///
+    /// This is the **reference** implementation: fresh buffers every
+    /// call, counts rebuilt every water-filling round. The fast path
+    /// ([`Fabric::refresh_rates`]) must stay bit-identical to it. Also
+    /// returns the number of water-filling rounds so the caller can
+    /// account the per-round allocations.
+    fn compute_rates_reference(&self) -> (Vec<(FlowId, f64)>, u64) {
+        let mut rounds = 0u64;
         let n_nodes = self.nodes.len();
         let ids: Vec<FlowId> = self.flows.keys().copied().collect();
         let mut rate = vec![0.0f64; ids.len()];
@@ -264,6 +422,7 @@ impl<S: Shaper> Fabric<S> {
         let mut core = self.core_capacity_bps;
 
         loop {
+            rounds += 1;
             // Count unfrozen flows per resource.
             let mut eg_count = vec![0usize; n_nodes];
             let mut in_count = vec![0usize; n_nodes];
@@ -345,14 +504,262 @@ impl<S: Shaper> Fabric<S> {
             }
         }
 
-        ids.into_iter().zip(rate).collect()
+        (ids.into_iter().zip(rate).collect(), rounds)
+    }
+
+    /// Ensure `scratch.rate` holds the max-min allocation for the
+    /// current inputs, re-running water-filling only when the input
+    /// signature (flow-set epoch, per-node effective egress/ingress,
+    /// core capacity) changed bitwise since the last step.
+    ///
+    /// Bit-identity with [`Fabric::compute_rates_reference`]: the
+    /// gathered capacities and cached specs are the exact values the
+    /// reference reads, the freeze sweep mutates residuals in the same
+    /// order, and per-node counts — initialized from the incrementally
+    /// maintained totals — are decremented only *after* each round's
+    /// sweep, matching the reference's rebuild-at-round-start reads.
+    fn refresh_rates(&mut self) {
+        let n_nodes = self.nodes.len();
+        let sc = &mut self.scratch;
+        let mut dirty = false;
+
+        // 1. Flow set: rebuild the id/spec mirror when the epoch moved.
+        if sc.sig_epoch != self.flow_epoch {
+            sc.ids.clear();
+            sc.specs.clear();
+            for (id, f) in self.flows.iter() {
+                sc.ids.push(*id);
+                sc.specs.push(f.spec);
+            }
+            sc.sig_epoch = self.flow_epoch;
+            dirty = true;
+        }
+
+        // 2. Per-node effective capacities, compared bitwise against the
+        // cached signature while being gathered into the working
+        // residual buffers.
+        if sc.sig_egress.len() != n_nodes {
+            sc.sig_egress.clear();
+            sc.sig_egress.resize(n_nodes, 0);
+            sc.sig_ingress.clear();
+            sc.sig_ingress.resize(n_nodes, 0);
+            dirty = true;
+        }
+        sc.egress.clear();
+        sc.ingress.clear();
+        for (v, n) in self.nodes.iter().enumerate() {
+            let factor = match &self.faults {
+                Some(s) => s.factor_at(v, self.now_s),
+                None => 1.0,
+            };
+            let eg = n.shaper.rate_hint(self.now_s).max(0.0) * factor;
+            let ing = n.ingress_cap_bps * factor;
+            if sc.sig_egress[v] != eg.to_bits() {
+                sc.sig_egress[v] = eg.to_bits();
+                dirty = true;
+            }
+            if sc.sig_ingress[v] != ing.to_bits() {
+                sc.sig_ingress[v] = ing.to_bits();
+                dirty = true;
+            }
+            sc.egress.push(eg);
+            sc.ingress.push(ing);
+        }
+        let core_bits = self.core_capacity_bps.map(f64::to_bits);
+        if sc.sig_core != core_bits {
+            sc.sig_core = core_bits;
+            dirty = true;
+        }
+
+        if !dirty {
+            self.perf.rate_cache_hits += 1;
+            return;
+        }
+        self.perf.rate_recomputes += 1;
+
+        // 3. Water-filling into the scratch buffers.
+        let k_flows = sc.ids.len();
+        sc.rate.clear();
+        sc.rate.resize(k_flows, 0.0);
+        sc.frozen.clear();
+        sc.frozen.resize(k_flows, false);
+        sc.eg_count.clear();
+        sc.eg_count.extend_from_slice(&self.active_eg);
+        sc.in_count.clear();
+        sc.in_count.extend_from_slice(&self.active_in);
+        let mut unfrozen = k_flows;
+        let mut core = self.core_capacity_bps;
+
+        loop {
+            if unfrozen == 0 {
+                break;
+            }
+
+            // Smallest fair share over all constraining resources.
+            let mut share = f64::INFINITY;
+            for v in 0..n_nodes {
+                if sc.eg_count[v] > 0 {
+                    share = share.min(sc.egress[v] / sc.eg_count[v] as f64);
+                }
+                if sc.in_count[v] > 0 {
+                    share = share.min(sc.ingress[v] / sc.in_count[v] as f64);
+                }
+            }
+            if let Some(c) = core {
+                share = share.min(c / unfrozen as f64);
+            }
+            // Per-flow caps can be tighter than any shared resource.
+            for k in 0..k_flows {
+                if !sc.frozen[k] {
+                    share = share.min(sc.specs[k].max_rate_bps);
+                }
+            }
+            if !share.is_finite() {
+                // No finite constraint at all: unbounded fabric.
+                for k in 0..k_flows {
+                    if !sc.frozen[k] {
+                        sc.frozen[k] = true;
+                        sc.rate[k] = f64::INFINITY;
+                    }
+                }
+                break;
+            }
+            let share = share.max(0.0);
+
+            // Freeze every flow limited at this share: flows crossing a
+            // bottleneck resource, or capped at exactly the share.
+            let eps = share * 1e-9 + 1e-9;
+            let core_binding = core
+                .map(|c| c / unfrozen as f64 <= share + eps)
+                .unwrap_or(false);
+            sc.round_frozen.clear();
+            let mut froze_any = false;
+            for k in 0..k_flows {
+                if sc.frozen[k] {
+                    continue;
+                }
+                let s = sc.specs[k];
+                let src_share = sc.egress[s.src] / sc.eg_count[s.src] as f64;
+                let dst_share = sc.ingress[s.dst] / sc.in_count[s.dst] as f64;
+                let capped = s.max_rate_bps <= share + eps;
+                if core_binding || src_share <= share + eps || dst_share <= share + eps || capped
+                {
+                    sc.frozen[k] = true;
+                    sc.rate[k] = share;
+                    sc.egress[s.src] = (sc.egress[s.src] - share).max(0.0);
+                    sc.ingress[s.dst] = (sc.ingress[s.dst] - share).max(0.0);
+                    if let Some(c) = core.as_mut() {
+                        *c = (*c - share).max(0.0);
+                    }
+                    sc.round_frozen.push(k);
+                    froze_any = true;
+                }
+            }
+            debug_assert!(froze_any, "water-filling failed to make progress");
+            if !froze_any {
+                break;
+            }
+            // The reference reads round-start counts throughout its
+            // freeze sweep, so this round's decrements land only now.
+            for &k in &sc.round_frozen {
+                let s = sc.specs[k];
+                sc.eg_count[s.src] -= 1;
+                sc.in_count[s.dst] -= 1;
+                unfrozen -= 1;
+            }
+        }
     }
 
     /// Advance the fabric by `dt` seconds. Returns the flows that
     /// completed during the step, in id order.
     pub fn step(&mut self, dt: f64) -> Vec<FlowId> {
         assert!(dt > 0.0, "step must be positive");
-        let rates = self.compute_rates();
+        self.perf.steps += 1;
+        if self.reference_path {
+            return self.step_reference(dt);
+        }
+
+        if self.flows.is_empty() {
+            // No flows: water-filling is vacuous, but idle shapers must
+            // still advance (token refill) with the same bookkeeping.
+            self.perf.empty_steps += 1;
+            for node in &mut self.nodes {
+                let granted = node.shaper.transmit(self.now_s, dt, 0.0);
+                node.last_tx_bits = granted;
+                node.total_tx_bits += granted;
+            }
+            self.now_s += dt;
+            return Vec::new();
+        }
+
+        self.refresh_rates();
+        let n_nodes = self.nodes.len();
+        let Fabric {
+            nodes,
+            flows,
+            scratch: sc,
+            now_s,
+            ..
+        } = &mut *self;
+
+        // Aggregate per-node egress demand. `flows` iterates in key
+        // order — exactly `scratch.ids` order — so zipping replaces the
+        // reference's per-flow map lookups with a linear walk; each
+        // flow's `want` is kept for the deliver pass (same value, same
+        // bits — the reference merely recomputes it).
+        sc.node_demand.clear();
+        sc.node_demand.resize(n_nodes, 0.0);
+        sc.want.clear();
+        for (f, &r) in flows.values().zip(&sc.rate) {
+            let want = (r * dt).min(f.remaining_bits);
+            sc.node_demand[f.spec.src] += want;
+            sc.want.push(want);
+        }
+
+        // Let shapers admit the demand; compute per-node scaling.
+        sc.node_scale.clear();
+        sc.node_scale.resize(n_nodes, 1.0);
+        for (v, node) in nodes.iter_mut().enumerate() {
+            let demand = sc.node_demand[v];
+            let granted = node.shaper.transmit(*now_s, dt, demand);
+            node.last_tx_bits = granted;
+            node.total_tx_bits += granted;
+            sc.node_scale[v] = if demand > 0.0 { granted / demand } else { 1.0 };
+        }
+
+        // Deliver bits and collect completions. `Vec::new` does not
+        // allocate until a completion is actually pushed, so the
+        // steady state stays allocation-free.
+        let mut completed = Vec::new();
+        for ((id, f), &want) in flows.iter_mut().zip(&sc.want) {
+            let delivered = want * sc.node_scale[f.spec.src];
+            f.remaining_bits -= delivered;
+            f.last_rate_bps = delivered / dt;
+            if f.remaining_bits <= 1e-6 {
+                completed.push(*id);
+            }
+        }
+        for id in &completed {
+            if let Some(f) = self.flows.remove(id) {
+                self.active_eg[f.spec.src] -= 1;
+                self.active_in[f.spec.dst] -= 1;
+            }
+        }
+        if !completed.is_empty() {
+            self.flow_epoch += 1;
+        }
+
+        self.now_s += dt;
+        completed
+    }
+
+    /// The original stepping loop, kept verbatim as the equivalence
+    /// baseline (fresh buffers and map lookups every step).
+    fn step_reference(&mut self, dt: f64) -> Vec<FlowId> {
+        let (rates, rounds) = self.compute_rates_reference();
+        // compute_rates_reference: ids, rate, frozen, egress, ingress,
+        // the final collect, plus two count vectors per round.
+        self.perf.ref_vec_allocs += 6 + 2 * rounds;
 
         // Aggregate per-node egress demand.
         let mut node_demand = vec![0.0f64; self.nodes.len()];
@@ -386,24 +793,51 @@ impl<S: Shaper> Fabric<S> {
             }
         }
         for id in &completed {
-            self.flows.remove(id);
+            if let Some(f) = self.flows.remove(id) {
+                self.active_eg[f.spec.src] -= 1;
+                self.active_in[f.spec.dst] -= 1;
+            }
         }
+        if !completed.is_empty() {
+            self.flow_epoch += 1;
+        }
+        self.perf.ref_vec_allocs += 2 + u64::from(!completed.is_empty());
 
         self.now_s += dt;
         completed
     }
 
     /// Advance with **no** flows for `duration` (resting: token refill).
+    ///
+    /// The fast path delegates to [`Shaper::rest`], which replaces the
+    /// per-step virtual idle `transmit` calls with each shaper's (often
+    /// closed-form or early-exiting) equivalent; the clock still
+    /// advances by the same repeated `+= dt` so `now` stays bitwise
+    /// identical to the reference loop.
     pub fn rest(&mut self, duration: f64, dt: f64) {
         assert!(self.flows.is_empty(), "rest() with active flows");
         let steps = (duration / dt).round().max(0.0) as u64;
-        for _ in 0..steps {
-            for node in &mut self.nodes {
-                node.shaper.transmit(self.now_s, dt, 0.0);
+        if self.reference_path {
+            for _ in 0..steps {
+                for node in &mut self.nodes {
+                    node.shaper.transmit(self.now_s, dt, 0.0);
+                    node.last_tx_bits = 0.0;
+                }
+                self.now_s += dt;
+            }
+            return;
+        }
+        for node in &mut self.nodes {
+            node.shaper.rest(self.now_s, dt, steps);
+            if steps > 0 {
                 node.last_tx_bits = 0.0;
             }
-            self.now_s += dt;
         }
+        let mut t = self.now_s;
+        for _ in 0..steps {
+            t += dt;
+        }
+        self.now_s = t;
     }
 
     /// Reset every node's shaper and the clock (fresh VMs).
@@ -414,6 +848,13 @@ impl<S: Shaper> Fabric<S> {
             node.total_tx_bits = 0.0;
         }
         self.flows.clear();
+        for c in &mut self.active_eg {
+            *c = 0;
+        }
+        for c in &mut self.active_in {
+            *c = 0;
+        }
+        self.flow_epoch += 1;
         self.now_s = 0.0;
     }
 }

@@ -475,6 +475,14 @@ impl<S: Shaper> Shaper for FaultInjector<S> {
     fn token_budget_bits(&self) -> Option<f64> {
         self.inner.token_budget_bits()
     }
+
+    fn rest(&mut self, now: f64, dt: f64, steps: u64) {
+        // With zero demand the offered volume is exactly 0.0 for every
+        // fault factor (0.0, the demand itself, or 0.0.min(ceiling)),
+        // and `factor_at` reads no mutable state — so the idle loop is
+        // precisely the inner shaper's idle loop.
+        self.inner.rest(now, dt, steps);
+    }
 }
 
 #[cfg(test)]

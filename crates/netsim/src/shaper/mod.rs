@@ -60,6 +60,24 @@ pub trait Shaper {
     fn token_budget_bits(&self) -> Option<f64> {
         None
     }
+
+    /// Advance through `steps` idle ticks of `dt` seconds starting at
+    /// `now` — exactly equivalent to calling
+    /// `transmit(now + k*dt, dt, 0.0)` for `k in 0..steps`.
+    ///
+    /// The default is that literal loop. Overrides may replace it with a
+    /// closed form or an early exit, but must leave the shaper in the
+    /// **bitwise-identical** state the loop would: every observable
+    /// (later `transmit` grants, `rate_hint`, `token_budget_bits`) must
+    /// match exactly. The equivalence is pinned per shaper by
+    /// `netsim/tests/prop_fabric_fast.rs`.
+    fn rest(&mut self, now: f64, dt: f64, steps: u64) {
+        let mut t = now;
+        for _ in 0..steps {
+            self.transmit(t, dt, 0.0);
+            t += dt;
+        }
+    }
 }
 
 /// Unconditioned constant-rate link (e.g. a physical NIC cap).
@@ -86,6 +104,11 @@ impl Shaper for StaticShaper {
     }
 
     fn reset(&mut self) {}
+
+    fn rest(&mut self, _now: f64, _dt: f64, _steps: u64) {
+        // Stateless: an idle transmit observes nothing and changes
+        // nothing, so any number of them is a no-op.
+    }
 }
 
 /// Series composition: traffic must pass both shapers (e.g. a token
@@ -123,6 +146,15 @@ impl<A: Shaper, B: Shaper> Shaper for MinShaper<A, B> {
     fn token_budget_bits(&self) -> Option<f64> {
         self.a.token_budget_bits().or_else(|| self.b.token_budget_bits())
     }
+
+    fn rest(&mut self, now: f64, dt: f64, steps: u64) {
+        // The loop would call a.transmit(t, dt, 0.0) then
+        // b.transmit(t, dt, granted_a) each tick; grants are bounded by
+        // demand, so granted_a == 0.0 and both stages see pure idle
+        // ticks. Resting each stage independently is therefore exact.
+        self.a.rest(now, dt, steps);
+        self.b.rest(now, dt, steps);
+    }
 }
 
 impl Shaper for Box<dyn Shaper + Send> {
@@ -140,6 +172,10 @@ impl Shaper for Box<dyn Shaper + Send> {
 
     fn token_budget_bits(&self) -> Option<f64> {
         (**self).token_budget_bits()
+    }
+
+    fn rest(&mut self, now: f64, dt: f64, steps: u64) {
+        (**self).rest(now, dt, steps)
     }
 }
 

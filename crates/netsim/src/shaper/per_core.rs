@@ -148,6 +148,19 @@ impl Shaper for PerCoreQos {
         self.burst_start = None;
         self.burst_penalty = 0.0;
     }
+
+    fn rest(&mut self, _now: f64, _dt: f64, steps: u64) {
+        // An idle tick steps the AR(1) noise, clears the burst marker
+        // and returns — `now`/`dt` are never read, so the loop reduces
+        // to advancing the noise `steps` times. The RNG advance cannot
+        // be skipped (bitwise state must match the loop's).
+        if steps > 0 {
+            self.burst_start = None;
+        }
+        for _ in 0..steps {
+            self.noise.step(&mut self.rng);
+        }
+    }
 }
 
 #[cfg(test)]

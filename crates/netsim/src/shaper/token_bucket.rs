@@ -196,6 +196,23 @@ impl Shaper for TokenBucket {
     fn token_budget_bits(&self) -> Option<f64> {
         Some(self.budget_bits)
     }
+
+    fn rest(&mut self, _now: f64, _dt: f64, steps: u64) {
+        // Each idle tick performs budget = (budget + idle_refill*dt)
+        // .min(capacity) and nothing else. The iteration is monotone
+        // with a fixed point (the capacity cap, or immediately when the
+        // refill increment is zero), so we run the same scalar update
+        // and exit as soon as it stops moving — bitwise identical to
+        // the full loop, which would keep producing the same value.
+        let x = self.idle_refill_bps * _dt;
+        for _ in 0..steps {
+            let next = (self.budget_bits + x).min(self.capacity_bits);
+            if next == self.budget_bits {
+                break;
+            }
+            self.budget_bits = next;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -120,4 +120,27 @@ if ! diff -u "$replay_a" "$par_a" > /dev/null; then
 fi
 echo "OK: campaign output is invariant to the worker count"
 
+echo "== fabric fast path: bit-identical to the reference path =="
+# The stepping fast path (scratch buffers, rate cache, closed-form
+# rests) must never change results. Three gates:
+#   1. The full faulty campaign re-run with FABRIC_SLOW_PATH=1 (the
+#      reference stepping loops) must match the fast-path replay above
+#      byte for byte. Note the REPRO_JOBS gates already ran through the
+#      fast path, so this diff closes the fast-vs-reference loop.
+#   2. The property suite drives randomized fabrics through both paths
+#      and compares every observable with f64::to_bits.
+#   3. The counting-allocator probe asserts the steady-state stepping
+#      path performs zero heap allocations.
+slow_a=$(mktemp)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a"' EXIT
+FABRIC_SLOW_PATH=1 cargo run -q --release --offline --example faulty_campaign > "$slow_a"
+if ! diff -u "$replay_a" "$slow_a" > /dev/null; then
+  echo "FAIL: FABRIC_SLOW_PATH=1 output differs from the fast path's:" >&2
+  diff -u "$replay_a" "$slow_a" >&2 | head -40
+  exit 1
+fi
+cargo test -q --release --offline -p netsim --test prop_fabric_fast
+cargo test -q --release --offline -p netsim --test alloc_free
+echo "OK: fast path is bit-identical and allocation-free"
+
 echo "== verify.sh: all gates passed =="

@@ -167,16 +167,21 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let reps = get_u64(flags, "reps", 10)? as usize;
     let nodes = get_u64(flags, "nodes", 12)? as usize;
     let seed = get_u64(flags, "seed", 1)?;
+    // A/B escape hatch: force the fabric's reference stepping loops
+    // instead of the (bit-identical) fast path. Output must not change.
+    let reference = flags.contains_key("reference-fabric");
     println!(
-        "running {} x{reps} on {nodes}x {} {} (fresh VMs per run)",
+        "running {} x{reps} on {nodes}x {} {} (fresh VMs per run){}",
         job.name,
         cloud.provider.name(),
-        cloud.instance_type
+        cloud.instance_type,
+        if reference { " [reference fabric path]" } else { "" }
     );
     let samples: Vec<f64> = (0..reps)
         .map(|rep| {
             let s = netsim::rng::derive_seed(seed, rep as u64);
             let mut cluster = bigdata::Cluster::from_profile(&cloud, nodes, 16, s);
+            cluster.fabric_mut().force_reference_path(reference);
             bigdata::run_job(&mut cluster, &job, s).duration_s
         })
         .collect();
@@ -268,7 +273,7 @@ fn usage() {
     println!("  fleet --cloud C [--pairs N] [--pattern P] [--hours H] [--seed S]");
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
-    println!("  run --cloud C --workload W [--reps N] [--nodes N]");
+    println!("  run --cloud C --workload W [--reps N] [--nodes N] [--reference-fabric]");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
     println!("  detlint [--root DIR] [--json]      lint against the determinism contract");
