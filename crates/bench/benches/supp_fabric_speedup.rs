@@ -1,15 +1,19 @@
-//! Supplementary: the fabric stepping fast path on a fig19-style
+//! Supplementary: the fabric stepping engines on a fig19-style
 //! depletion campaign — wall-clock speedup next to unchanged goldens.
 //!
-//! The fast path (allocation-free water-filling into per-fabric scratch
-//! buffers, a signature-keyed rate cache, closed-form shaper rests) is
-//! contractually bit-identical to the reference loops
-//! (`force_reference_path`). This bench runs the same 600 s-of-
-//! simulated-time depletion campaign through both paths, CHECKs the
-//! golden trace hashes match exactly (and stay invariant across
-//! REPRO_JOBS=1/4), reports the speedup and the cache/allocation
-//! counters, and emits machine-readable `BENCH_fabric.json` so future
-//! PRs can track the perf trajectory.
+//! Three engines step the same fabric: the reference loops
+//! (`StepPath::Reference`), the per-step cached fast path
+//! (`StepPath::Fast`: allocation-free water-filling into per-fabric
+//! scratch buffers, a signature-keyed rate cache, closed-form shaper
+//! rests), and the event-driven engine (`StepPath::Event`: closed-form
+//! next-event horizons jump the fabric between token-bucket crossings,
+//! fault transitions, and flow completions on struct-of-arrays state).
+//! All three are contractually bit-identical. This bench runs the same
+//! 600 s-of-simulated-time depletion campaign through each path, CHECKs
+//! the golden trace hashes match exactly (and stay invariant across
+//! REPRO_JOBS=1/4 on the event engine), reports the speedups and the
+//! cache/event counters, and emits machine-readable `BENCH_fabric.json`
+//! so future PRs can track the perf trajectory.
 
 use bench::timer::bench;
 use bench::{banner, check, mmss};
@@ -17,7 +21,7 @@ use repro_core::bigdata::engine::{run_job_cfg, EngineConfig};
 use repro_core::bigdata::workloads::tpcds;
 use repro_core::bigdata::Cluster;
 use repro_core::exec;
-use repro_core::netsim::fabric::{Fabric, FabricPerf, FlowSpec};
+use repro_core::netsim::fabric::{Fabric, FabricPerf, FlowSpec, StepPath};
 use repro_core::netsim::rng::derive_seed;
 use repro_core::netsim::shaper::{Shaper, TokenBucket};
 use std::path::Path;
@@ -41,11 +45,11 @@ fn cfg() -> EngineConfig {
 /// One fig19-style campaign: Query 65 repetitions back-to-back in the
 /// same (depleting) cluster with brief rests, until 600 s of simulated
 /// time have elapsed. Returns (golden hash, reps, fabric perf).
-fn depletion_campaign(reference: bool, seed: u64) -> (u64, u64, FabricPerf) {
+fn depletion_campaign(path: StepPath, seed: u64) -> (u64, u64, FabricPerf) {
     let cfg = cfg();
     let job = tpcds::query(65);
     let mut cluster = Cluster::ec2_emulated(NODES, 16, 1000.0);
-    cluster.fabric_mut().force_reference_path(reference);
+    cluster.fabric_mut().force_path(path);
 
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |x: u64| {
@@ -76,24 +80,24 @@ fn depletion_campaign(reference: bool, seed: u64) -> (u64, u64, FabricPerf) {
 fn main() {
     banner(
         "Supp. fabric",
-        "Stepping fast path: fig19-scale speedup with bit-identical goldens",
+        "Stepping engines: fig19-scale speedup with bit-identical goldens",
     );
     println!(
         "  workload: {NODES}-node EC2-emulated cluster, Q65 back-to-back, {} of simulated time",
         mmss(HORIZON_S)
     );
 
-    // Reference path first (its counters tell us what the fast path
-    // gets to skip), then the fast path. Each path runs the identical
-    // campaign several times; the best run is the least-noisy estimate
-    // of its cost on this machine.
+    // Reference path first (its counters tell us what the other engines
+    // get to skip), then the fast path, then the event engine. Each
+    // path runs the identical campaign several times; the best run is
+    // the least-noisy estimate of its cost on this machine.
     const TIMING_RUNS: usize = 5;
-    let time_path = |reference: bool| {
+    let time_path = |path: StepPath| {
         let mut best = f64::INFINITY;
         let mut out = None;
         for _ in 0..TIMING_RUNS {
             let t0 = Instant::now();
-            let r = depletion_campaign(reference, SEED);
+            let r = depletion_campaign(path, SEED);
             best = best.min(t0.elapsed().as_secs_f64());
             out = Some(r);
         }
@@ -101,7 +105,7 @@ fn main() {
         (hash, reps, perf, best)
     };
 
-    let (hash_ref, reps_ref, perf_ref, t_ref) = time_path(true);
+    let (hash_ref, reps_ref, perf_ref, t_ref) = time_path(StepPath::Reference);
     println!(
         "  reference: {:.1} ms wall (best of {TIMING_RUNS}), {reps_ref} reps, {} steps, {} vec allocs, hash {hash_ref:016x}",
         t_ref * 1e3,
@@ -109,7 +113,7 @@ fn main() {
         perf_ref.ref_vec_allocs
     );
 
-    let (hash_fast, reps_fast, perf_fast, t_fast) = time_path(false);
+    let (hash_fast, reps_fast, perf_fast, t_fast) = time_path(StepPath::Fast);
     let hit_rate = perf_fast.cache_hit_rate();
     println!(
         "  fast:      {:.1} ms wall (best of {TIMING_RUNS}), {reps_fast} reps, {} steps, {} recomputes / {} cache hits ({:.1}% hit), hash {hash_fast:016x}",
@@ -120,16 +124,30 @@ fn main() {
         hit_rate * 100.0
     );
 
-    let speedup = t_ref / t_fast;
-    let steps_per_sec = perf_fast.steps as f64 / t_fast;
-    println!("  speedup: {speedup:.2}x   fast path: {steps_per_sec:.0} fabric steps/s");
+    let (hash_event, reps_event, perf_event, t_event) = time_path(StepPath::Event);
+    println!(
+        "  event:     {:.1} ms wall (best of {TIMING_RUNS}), {reps_event} reps, {} steps, {} jumps covering {} steps ({:.1} steps/jump), hash {hash_event:016x}",
+        t_event * 1e3,
+        perf_event.steps,
+        perf_event.event_jumps,
+        perf_event.event_steps,
+        perf_event.event_steps as f64 / perf_event.event_jumps.max(1) as f64,
+    );
 
-    // REPRO_JOBS invariance through the fast path: shard 8 campaign
+    let speedup = t_ref / t_event;
+    let speedup_fast = t_ref / t_fast;
+    let steps_per_sec_event = perf_event.steps as f64 / t_event;
+    let steps_per_sec_fast = perf_fast.steps as f64 / t_fast;
+    println!(
+        "  speedup: event {speedup:.2}x, fast {speedup_fast:.2}x   event engine: {steps_per_sec_event:.0} fabric steps/s"
+    );
+
+    // REPRO_JOBS invariance through the event engine: shard 8 campaign
     // seeds across 1 and 4 workers and compare the combined goldens.
     let fleet = |jobs: usize| -> u64 {
         let seeds: Vec<u64> = (0..8).collect();
         let hashes = exec::par_map(jobs, &seeds, |&s| {
-            depletion_campaign(false, derive_seed(SEED, s)).0
+            depletion_campaign(StepPath::Event, derive_seed(SEED, s)).0
         });
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for x in hashes {
@@ -142,14 +160,14 @@ fn main() {
     let fleet_4 = fleet(4);
     println!("  fleet goldens: jobs=1 {fleet_1:016x}, jobs=4 {fleet_4:016x}");
 
-    // Micro-kernels: a steady-state cache-hit step vs a forced
-    // reference step on an identical 132-flow fabric.
-    let mk_loaded = |reference: bool| {
+    // Micro-kernels: a steady-state cache-hit step and an event-kernel
+    // step vs a forced reference step on an identical 132-flow fabric.
+    let mk_loaded = |path: StepPath| {
         let mut f = Fabric::new();
         for _ in 0..NODES {
             f.add_node(TokenBucket::sigma_rho(5e12, 1e9, 10e9), 10e9);
         }
-        f.force_reference_path(reference);
+        f.force_path(path);
         for s in 0..NODES {
             for d in 0..NODES {
                 if s != d {
@@ -160,29 +178,44 @@ fn main() {
         f.step(0.1); // settle the scratch buffers / first allocation
         f
     };
-    let mut fast = mk_loaded(false);
+    let mut fast = mk_loaded(StepPath::Fast);
     let micro_fast = bench("step (fast, cache hit)", || {
         fast.step(0.1);
     });
-    let mut refr = mk_loaded(true);
+    let mut refr = mk_loaded(StepPath::Reference);
     let micro_ref = bench("step (reference)", || {
         refr.step(0.1);
     });
+    // The kernel is only reachable through `advance`; 64 steps per call
+    // amortizes the one general (cache-refresh) step per window.
+    let mut ev = mk_loaded(StepPath::Event);
+    let mut done = Vec::new();
+    let micro_event = bench("advance x64 (event kernel)", || {
+        ev.advance(0.1, 64, &mut done);
+        done.clear();
+    });
+    let micro_event_step_ns = micro_event.median_ns / 64.0;
     println!(
-        "  micro step speedup: {:.2}x",
-        micro_ref.median_ns / micro_fast.median_ns
+        "  micro step speedup: fast {:.2}x, event {:.2}x ({:.0} ns/step in-kernel)",
+        micro_ref.median_ns / micro_fast.median_ns,
+        micro_ref.median_ns / micro_event_step_ns,
+        micro_event_step_ns,
     );
 
     // Machine-readable perf trajectory.
+    let goldens_ok = hash_event == hash_ref && hash_fast == hash_ref;
     let json = format!(
-        "{{\n  \"bench\": \"supp_fabric_speedup\",\n  \"workload\": \"fig19_depletion_600s_q65\",\n  \"speedup\": {speedup:.3},\n  \"wall_s_reference\": {t_ref:.3},\n  \"wall_s_fast\": {t_fast:.3},\n  \"steps_per_sec_fast\": {steps_per_sec:.1},\n  \"fabric_steps\": {},\n  \"rate_recomputes\": {},\n  \"rate_cache_hits\": {},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"allocations_avoided\": {},\n  \"micro_step_fast_ns\": {:.1},\n  \"micro_step_reference_ns\": {:.1},\n  \"golden_hash\": \"{hash_fast:016x}\",\n  \"goldens_match_reference\": {},\n  \"jobs_invariant\": {}\n}}\n",
-        perf_fast.steps,
+        "{{\n  \"bench\": \"supp_fabric_speedup\",\n  \"workload\": \"fig19_depletion_600s_q65\",\n  \"speedup\": {speedup:.3},\n  \"speedup_fast_path\": {speedup_fast:.3},\n  \"wall_s_reference\": {t_ref:.3},\n  \"wall_s_fast\": {t_fast:.3},\n  \"wall_s_event\": {t_event:.4},\n  \"steps_per_sec_fast\": {steps_per_sec_fast:.1},\n  \"steps_per_sec_event\": {steps_per_sec_event:.1},\n  \"fabric_steps\": {},\n  \"rate_recomputes\": {},\n  \"rate_cache_hits\": {},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"event_jumps\": {},\n  \"event_steps\": {},\n  \"allocations_avoided\": {},\n  \"micro_step_fast_ns\": {:.1},\n  \"micro_step_event_ns\": {:.1},\n  \"micro_step_reference_ns\": {:.1},\n  \"golden_hash\": \"{hash_event:016x}\",\n  \"goldens_match_reference\": {},\n  \"jobs_invariant\": {}\n}}\n",
+        perf_event.steps,
         perf_fast.rate_recomputes,
         perf_fast.rate_cache_hits,
+        perf_event.event_jumps,
+        perf_event.event_steps,
         perf_ref.ref_vec_allocs,
         micro_fast.median_ns,
+        micro_event_step_ns,
         micro_ref.median_ns,
-        hash_fast == hash_ref,
+        goldens_ok,
         fleet_1 == fleet_4,
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fabric.json");
@@ -190,17 +223,21 @@ fn main() {
     println!("  wrote {}", out.display());
 
     check(
-        "golden trace hashes identical between fast and reference paths",
-        hash_fast == hash_ref && reps_fast == reps_ref,
+        "golden trace hashes identical across event, fast, and reference paths",
+        goldens_ok && reps_fast == reps_ref && reps_event == reps_ref,
     );
     check(
-        "fast-path goldens invariant across REPRO_JOBS=1/4",
+        "event-engine goldens invariant across REPRO_JOBS=1/4",
         fleet_1 == fleet_4,
     );
     check(
         "rate cache engages on the depletion campaign (>90% hits)",
         hit_rate > 0.9,
     );
-    check(">=5x wall-clock speedup on the 600 s campaign", speedup >= 5.0);
+    check(">=5x wall-clock speedup on the fast path", speedup_fast >= 5.0);
+    check(
+        ">=10x wall-clock speedup on the event engine (600 s campaign)",
+        speedup >= 10.0,
+    );
     println!();
 }

@@ -79,6 +79,32 @@ impl<S: Shaper> Cluster<S> {
         self.fabric.step(dt)
     }
 
+    /// Advance the cluster by up to `max_steps` ticks of `dt`,
+    /// appending completed flows to `completed` in step order. Returns
+    /// the number of steps taken.
+    ///
+    /// Without cross traffic this forwards straight to
+    /// [`Fabric::advance`] — the event-driven engine's batched entry
+    /// point. With cross traffic every tick must inject flows, so the
+    /// per-step loop is kept; it stops after any step that reports a
+    /// completion so batched callers can re-check which flows they are
+    /// still waiting for before continuing.
+    pub fn advance(&mut self, dt: f64, max_steps: u64, completed: &mut Vec<FlowId>) -> u64 {
+        if self.cross_traffic.is_none() {
+            return self.fabric.advance(dt, max_steps, completed);
+        }
+        let mut taken = 0u64;
+        while taken < max_steps {
+            let done = self.step(dt);
+            taken += 1;
+            if !done.is_empty() {
+                completed.extend_from_slice(&done);
+                break;
+            }
+        }
+        taken
+    }
+
     /// Idle the cluster for `duration` seconds in steps of `dt`
     /// (token refill; cross traffic keeps flowing, unlike
     /// [`Fabric::rest`] which requires an empty fabric).

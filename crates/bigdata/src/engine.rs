@@ -12,7 +12,6 @@ use crate::job::JobSpec;
 use netsim::fabric::{FlowId, FlowSpec};
 use netsim::rng::SimRng;
 use netsim::shaper::Shaper;
-use std::collections::BTreeSet;
 
 /// Engine time-stepping configuration.
 #[derive(Debug, Clone, Copy)]
@@ -192,10 +191,26 @@ fn execute<S: Shaper>(
         // --- Compute phase: waves of tasks over the executor slots. ---
         let mut compute_s = 0.0;
         let mut remaining = stage.tasks;
+        // Same draws as `task_time(&mut rng, m, cv)` per task, with the
+        // per-draw-constant lognormal parameters hoisted out of the
+        // wave (identical operands and operations, so identical bits).
+        let m = stage.task_compute_s * env_factor;
+        let (mu, sigma) = if stage.task_cv > 0.0 {
+            let sigma2 = (1.0 + stage.task_cv * stage.task_cv).ln();
+            (m.ln() - sigma2 / 2.0, sigma2.sqrt())
+        } else {
+            (0.0, 0.0)
+        };
         while remaining > 0 {
             let wave = remaining.min(slots);
             let wave_time = (0..wave)
-                .map(|_| task_time(&mut rng, stage.task_compute_s * env_factor, stage.task_cv))
+                .map(|_| {
+                    if stage.task_cv <= 0.0 {
+                        m
+                    } else {
+                        rng.lognormal(mu, sigma)
+                    }
+                })
                 .fold(0.0, f64::max);
             compute_s += wave_time;
             remaining -= wave;
@@ -212,14 +227,49 @@ fn execute<S: Shaper>(
             compute_s = stage_wall;
         }
         // Advance the fabric through the compute phase (idle network).
-        let mut left = compute_s;
-        while left > 0.0 {
-            let dt = left.min(cfg.compute_step_s);
-            cluster.step(dt);
-            if let Some(rec) = recorder.as_deref_mut() {
-                rec.observe(cluster, dt);
+        if recorder.is_none() {
+            // Batched path: replay the stepping loop's scalar recurrence
+            // to find how many full ticks it would take and what the
+            // final partial tick would be (the `left -= dt` sequence is
+            // floating point, so it is re-run literally rather than
+            // closed-formed), then jump the fabric through the full
+            // ticks in one `advance` call. `left.min(step) == left` on
+            // the last tick makes `left -= dt` land on exactly 0.0.
+            let mut left = compute_s;
+            let mut full = 0u64;
+            let mut partial = None;
+            while left > 0.0 {
+                let dt = left.min(cfg.compute_step_s);
+                if dt < cfg.compute_step_s {
+                    partial = Some(dt);
+                } else {
+                    full += 1;
+                }
+                left -= dt;
             }
-            left -= dt;
+            let mut done: Vec<FlowId> = Vec::new();
+            let mut taken = 0u64;
+            while taken < full {
+                let t = cluster.advance(cfg.compute_step_s, full - taken, &mut done);
+                done.clear();
+                taken += t;
+                if t == 0 {
+                    break;
+                }
+            }
+            if let Some(dt) = partial {
+                cluster.step(dt);
+            }
+        } else {
+            let mut left = compute_s;
+            while left > 0.0 {
+                let dt = left.min(cfg.compute_step_s);
+                cluster.step(dt);
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.observe(cluster, dt);
+                }
+                left -= dt;
+            }
         }
 
         // --- Shuffle phase: all-to-all exchange of the stage output. ---
@@ -230,7 +280,10 @@ fn execute<S: Shaper>(
                 .collect();
             let wsum: f64 = weights.iter().sum();
             let start = cluster.fabric().now();
-            let mut pending: BTreeSet<FlowId> = BTreeSet::new();
+            // Flow ids are handed out in increasing order, so the
+            // pending set is a sorted Vec: O(log n) membership via
+            // binary search, no per-insert allocation.
+            let mut pending: Vec<FlowId> = Vec::with_capacity(n * (n - 1));
             for src in 0..n {
                 let src_bits = stage.shuffle_bits * weights[src] / wsum;
                 let per_dst = src_bits / (n - 1) as f64;
@@ -239,22 +292,46 @@ fn execute<S: Shaper>(
                         let id = cluster
                             .fabric_mut()
                             .start_flow(FlowSpec::new(src, dst, per_dst));
-                        pending.insert(id);
+                        pending.push(id);
                     }
                 }
             }
+            debug_assert!(pending.windows(2).all(|w| w[0] < w[1]));
             // Hard cap to guarantee termination even on a zero-rate link.
             let max_steps = (86_400.0 / cfg.shuffle_step_s) as u64;
             let mut steps = 0u64;
-            while !pending.is_empty() && steps < max_steps {
-                let done = cluster.step(cfg.shuffle_step_s);
-                if let Some(rec) = recorder.as_deref_mut() {
-                    rec.observe(cluster, cfg.shuffle_step_s);
+            if recorder.is_none() {
+                // Batched path: `Cluster::advance` jumps between events
+                // (completions end each jump) and takes exactly the
+                // steps the per-tick loop would, so the clock, shaper
+                // state, and completion order are bitwise identical.
+                let mut done: Vec<FlowId> = Vec::new();
+                while !pending.is_empty() && steps < max_steps {
+                    done.clear();
+                    let taken = cluster.advance(cfg.shuffle_step_s, max_steps - steps, &mut done);
+                    for id in &done {
+                        if let Ok(i) = pending.binary_search(id) {
+                            pending.remove(i);
+                        }
+                    }
+                    steps += taken;
+                    if taken == 0 {
+                        break;
+                    }
                 }
-                for id in done {
-                    pending.remove(&id);
+            } else {
+                while !pending.is_empty() && steps < max_steps {
+                    let done = cluster.step(cfg.shuffle_step_s);
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.observe(cluster, cfg.shuffle_step_s);
+                    }
+                    for id in done {
+                        if let Ok(i) = pending.binary_search(&id) {
+                            pending.remove(i);
+                        }
+                    }
+                    steps += 1;
                 }
-                steps += 1;
             }
             assert!(
                 pending.is_empty(),

@@ -32,11 +32,7 @@ pub fn execute_rest<S: Shaper>(shaper: &mut S, now: f64, rest_s: f64, dt: f64) -
     shaper.rest(now, dt, steps);
     // The clock advances by repeated `+= dt`, exactly as the explicit
     // loop would, so downstream timestamps stay bit-identical.
-    let mut t = now;
-    for _ in 0..steps {
-        t += dt;
-    }
-    t
+    netsim::shaper::advance_clock(now, dt, steps)
 }
 
 /// Rest-duration planning from a probed token bucket.

@@ -10,17 +10,18 @@
 //! slows exactly the flows that cross it, which is how the paper's
 //! stragglers arise (Figure 18).
 //!
-//! ## The stepping fast path
+//! ## The stepping engines
 //!
 //! Long campaigns (Figure 19's 600 s depletion sequences, multi-day
 //! fleet sweeps) spend nearly all their time in [`Fabric::step`], so the
-//! fabric keeps two engines with **bit-identical** observable behavior:
+//! fabric keeps **three** engines with bit-identical observable
+//! behavior, selected by [`StepPath`]:
 //!
 //! * the **reference path** — the original loop that re-runs
 //!   water-filling from scratch every step, selected with
 //!   [`Fabric::force_reference_path`] or by setting the
 //!   `FABRIC_SLOW_PATH` environment variable;
-//! * the **fast path** (default) — hoists every per-step buffer into
+//! * the **fast path** (PR 5) — hoists every per-step buffer into
 //!   per-fabric scratch storage (zero steady-state heap allocations),
 //!   maintains per-node active-flow counts incrementally instead of
 //!   rebuilding them every water-filling round, and caches the rate
@@ -31,18 +32,99 @@
 //!   unchanged signature means the previous allocation can be reused
 //!   verbatim. Token-bucket hints are piecewise-constant, which
 //!   collapses long full-speed and depleted phases to O(nodes) per tick.
+//!   Selected with `FABRIC_EVENT_PATH=0` (or [`Fabric::force_path`]);
+//! * the **event-driven path** (default) — generalizes the signature
+//!   cache from "check every step" to "prove a horizon": batched
+//!   callers go through [`Fabric::advance`], which min-reduces a
+//!   [`NextEvent`] over per-node state (closed-form
+//!   [`Shaper::hint_stable_steps`] crossings, the fault schedule's next
+//!   transition, the flow-completion epoch, the caller's budget) and
+//!   runs the intervening steps in a struct-of-arrays kernel that skips
+//!   the per-step signature gathers and flow-map walks entirely.
+//!   Idle stretches batch through [`Shaper::rest`]. The kernel executes
+//!   the *identical* per-step floating-point recurrences (demand,
+//!   transmit, scale, deliver, clock) on mirrored state, so it is
+//!   bit-identical by construction — events only bound how long the
+//!   pure *reads* may be skipped, they never replace arithmetic.
 //!
 //! The equivalence contract is pinned by `tests/prop_fabric_fast.rs`
-//! (random flow sets, shapers, faults, and rest windows stepped through
-//! both paths and compared bit-for-bit) and documented in DESIGN.md §9.
+//! (fast vs reference) and `tests/prop_event_driven.rs` (event-jumped
+//! vs reference, including adversarial event alignments), and
+//! documented in DESIGN.md §9–10.
 
 use crate::faults::FaultSchedule;
 use crate::rng::SimRng;
 use crate::shaper::Shaper;
-use std::collections::BTreeMap;
 
 /// Index of a node in the fabric.
 pub type NodeId = usize;
+
+/// Which stepping engine the fabric runs (see the module docs). All
+/// three are bit-identical in every observable; they differ only in
+/// wall-clock cost, which is what `benches/supp_fabric_speedup` and
+/// `scripts/verify.sh` measure and cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPath {
+    /// Event-driven engine (default): [`Fabric::advance`] jumps between
+    /// provable events instead of re-validating the rate cache per step.
+    Event,
+    /// The PR-5 scratch-buffer fast path: per-step signature checks,
+    /// zero steady-state allocations. `FABRIC_EVENT_PATH=0`.
+    Fast,
+    /// The original allocating loops, kept verbatim as the equivalence
+    /// baseline. `FABRIC_SLOW_PATH=1` or [`Fabric::force_reference_path`].
+    Reference,
+}
+
+/// The closed-form next-event bound for one kernel window: the number
+/// of steps the event engine may take before any cached input *could*
+/// change, and which source bound it. Built by min-reducing per-node
+/// shaper crossings, the fault schedule's next transition, per-flow
+/// completion horizons, and the caller's step budget. The bounds are
+/// conservative (guard slack absorbs floating-point rounding), so the
+/// kernel still detects actual completions per step exactly like the
+/// per-step paths do — the horizon only proves what may be *skipped*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextEvent {
+    /// Steps until the event horizon (0 = the window cannot open).
+    pub steps: u64,
+    /// What bounded the horizon.
+    pub cause: EventCause,
+}
+
+/// What bounded an event window (see [`NextEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventCause {
+    /// The caller's `max_steps` budget.
+    Budget,
+    /// A node's [`Shaper::hint_stable_steps`] crossing bound.
+    HintCrossing(NodeId),
+    /// The fault schedule's next episode edge.
+    FaultTransition,
+    /// A flow is near enough to completion that its per-step demand
+    /// `min(rate·dt, remaining)` could stop being the constant
+    /// `rate·dt`.
+    Completion(FlowId),
+}
+
+/// Closed-form completion horizon for one flow: a number of steps over
+/// which `min(rate*dt, remaining)` provably keeps the bit pattern of
+/// the per-step demand `want` it has right now. Per-step delivery is
+/// `want * scale` with `scale = granted/demand <= 1.0` bitwise, so each
+/// step removes at most `want` bits and `remaining` stays strictly
+/// above the next step's demand for at least
+/// `(remaining/want) * (1 - 1e-6) - 2` steps; the relative `1e-6` and
+/// the two absolute guard steps absorb the rounding of both the bound
+/// and the delivery recurrence. A flow already below its full demand
+/// (`remaining < rate*dt`, i.e. `want == remaining`) collapses to 0. A
+/// zero-demand flow makes no progress and never bounds the horizon.
+fn flow_completion_horizon(remaining: f64, want: f64) -> u64 {
+    if want > 0.0 {
+        (((remaining / want) * (1.0 - 1e-6)).floor() as u64).saturating_sub(2)
+    } else {
+        u64::MAX
+    }
+}
 
 /// Opaque identifier of a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,6 +162,91 @@ struct ActiveFlow {
     last_rate_bps: f64,
 }
 
+/// Ordered flow map backed by a sorted `Vec`. Flow ids are handed out
+/// by a monotone counter, so inserts are almost always appends and the
+/// vector stays sorted by id — iteration order (and therefore every
+/// floating-point accumulation order downstream) is identical to the
+/// `BTreeMap` this replaces, at a fraction of the per-insert and
+/// per-walk cost on the hot churn path.
+#[derive(Debug, Default)]
+struct FlowMap(Vec<(FlowId, ActiveFlow)>);
+
+impl FlowMap {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    fn insert(&mut self, id: FlowId, f: ActiveFlow) {
+        match self.0.last() {
+            Some((last, _)) if *last >= id => {
+                // Out-of-order insert (never happens with the monotone
+                // counter, but keep the map honest).
+                match self.0.binary_search_by_key(&id, |kv| kv.0) {
+                    Ok(i) => self.0[i] = (id, f),
+                    Err(i) => self.0.insert(i, (id, f)),
+                }
+            }
+            _ => self.0.push((id, f)),
+        }
+    }
+
+    fn index_of(&self, id: &FlowId) -> Option<usize> {
+        self.0.binary_search_by_key(id, |kv| kv.0).ok()
+    }
+
+    fn get(&self, id: &FlowId) -> Option<&ActiveFlow> {
+        self.index_of(id).map(|i| &self.0[i].1)
+    }
+
+    fn get_mut(&mut self, id: &FlowId) -> Option<&mut ActiveFlow> {
+        match self.0.binary_search_by_key(id, |kv| kv.0) {
+            Ok(i) => Some(&mut self.0[i].1),
+            Err(_) => None,
+        }
+    }
+
+    fn remove(&mut self, id: &FlowId) -> Option<ActiveFlow> {
+        self.index_of(id).map(|i| self.0.remove(i).1)
+    }
+
+    fn keys(&self) -> impl Iterator<Item = &FlowId> + '_ {
+        self.0.iter().map(|kv| &kv.0)
+    }
+
+    fn values(&self) -> impl Iterator<Item = &ActiveFlow> + '_ {
+        self.0.iter().map(|kv| &kv.1)
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut ActiveFlow> + '_ {
+        self.0.iter_mut().map(|kv| &mut kv.1)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&FlowId, &ActiveFlow)> + '_ {
+        self.0.iter().map(|kv| (&kv.0, &kv.1))
+    }
+
+    fn iter_mut(&mut self) -> impl Iterator<Item = (&FlowId, &mut ActiveFlow)> + '_ {
+        self.0.iter_mut().map(|kv| (&kv.0, &mut kv.1))
+    }
+}
+
+impl std::ops::Index<&FlowId> for FlowMap {
+    type Output = ActiveFlow;
+
+    fn index(&self, id: &FlowId) -> &ActiveFlow {
+        // detlint:allow(D5) -- invariant: callers only index ids collected from this map in the same step
+        self.get(id).expect("unknown flow id")
+    }
+}
+
 struct Node<S> {
     shaper: S,
     ingress_cap_bps: f64,
@@ -110,6 +277,14 @@ pub struct FabricPerf {
     /// path is forced, so a reference run reports how many allocations
     /// the fast path avoids.
     pub ref_vec_allocs: u64,
+    /// Event windows opened by [`Fabric::advance`] (kernel runs of ≥1
+    /// step, plus batched idle jumps).
+    pub event_jumps: u64,
+    /// Steps executed inside event windows (kernel steps + batched idle
+    /// steps). Each also counts toward `steps`, and kernel steps count
+    /// as `rate_cache_hits` (the window horizon *proves* the signature
+    /// check would have hit).
+    pub event_steps: u64,
 }
 
 impl FabricPerf {
@@ -129,7 +304,7 @@ impl FabricPerf {
 /// flow set, constant node count) no buffer ever reallocates.
 #[derive(Debug, Default)]
 struct StepScratch {
-    /// Flow ids in `BTreeMap` key order (== iteration order); valid for
+    /// Flow ids in [`FlowMap`] key order (== iteration order); valid for
     /// `sig_epoch`.
     ids: Vec<FlowId>,
     /// Flow specs aligned with `ids` (avoids per-flow map lookups).
@@ -161,6 +336,22 @@ struct StepScratch {
     sig_egress: Vec<u64>,
     /// Effective ingress (cap × fault factor) bit patterns per node.
     sig_ingress: Vec<u64>,
+    /// Event-kernel struct-of-arrays mirrors of per-flow hot state,
+    /// aligned with `ids`. The kernel touches exactly one f64 lane per
+    /// flow per pass instead of walking the flow map; values are
+    /// gathered at window entry and scattered back at window exit.
+    /// Source-node index per flow (u32 lane: half the stride of the
+    /// full `FlowSpec`).
+    ev_src: Vec<u32>,
+    /// Remaining bits per flow.
+    ev_rem: Vec<f64>,
+    /// Contiguous same-source runs `(start, end)` over `ev_src`, built
+    /// at window entry when the flow order happens to be src-sorted
+    /// (the engine starts shuffles src-major, so it usually is). The
+    /// deliver pass then walks each run with its node's scale as a
+    /// loop-constant scalar — branch-free, gather-free, and
+    /// vectorizable — instead of indexing `node_scale` per flow.
+    ev_runs: Vec<(u32, u32)>,
 }
 
 /// The fabric. Generic over the shaper type so callers that need to
@@ -169,7 +360,7 @@ struct StepScratch {
 /// use `Fabric<Box<dyn Shaper + Send>>`.
 pub struct Fabric<S> {
     nodes: Vec<Node<S>>,
-    flows: BTreeMap<FlowId, ActiveFlow>,
+    flows: FlowMap,
     next_flow: u64,
     now_s: f64,
     /// Optional aggregate core capacity in bits/s shared by every flow
@@ -189,9 +380,12 @@ pub struct Fabric<S> {
     active_in: Vec<usize>,
     scratch: StepScratch,
     perf: FabricPerf,
-    /// When set, [`Fabric::step`] and [`Fabric::rest`] use the original
-    /// allocating loops (the equivalence baseline).
-    reference_path: bool,
+    /// The active stepping engine (see [`StepPath`]).
+    path: StepPath,
+    /// The non-reference engine this fabric gates back to when
+    /// [`Fabric::force_reference_path`] releases the reference loops
+    /// (`Event` by default, `Fast` under `FABRIC_EVENT_PATH=0`).
+    gated_path: StepPath,
 }
 
 impl<S: Shaper> Default for Fabric<S> {
@@ -201,14 +395,22 @@ impl<S: Shaper> Default for Fabric<S> {
 }
 
 impl<S: Shaper> Fabric<S> {
-    /// An empty fabric at t=0. The stepping fast path is on unless the
-    /// `FABRIC_SLOW_PATH` environment variable is set (to anything but
-    /// `0`), which forces the reference loops for A/B verification.
+    /// An empty fabric at t=0. The event-driven engine is on by
+    /// default; `FABRIC_EVENT_PATH=0` gates back to the PR-5 fast path,
+    /// and `FABRIC_SLOW_PATH` (set to anything but `0`) forces the
+    /// reference loops for A/B verification. The three are
+    /// bit-identical in every observable.
     pub fn new() -> Self {
         let slow = std::env::var_os("FABRIC_SLOW_PATH").is_some_and(|v| v != "0");
+        let no_event = std::env::var_os("FABRIC_EVENT_PATH").is_some_and(|v| v == "0");
+        let gated = if no_event {
+            StepPath::Fast
+        } else {
+            StepPath::Event
+        };
         Fabric {
             nodes: Vec::new(),
-            flows: BTreeMap::new(),
+            flows: FlowMap::default(),
             next_flow: 0,
             now_s: 0.0,
             core_capacity_bps: None,
@@ -220,20 +422,35 @@ impl<S: Shaper> Fabric<S> {
             active_in: Vec::new(),
             scratch: StepScratch::default(),
             perf: FabricPerf::default(),
-            reference_path: slow,
+            path: if slow { StepPath::Reference } else { gated },
+            gated_path: gated,
         }
     }
 
     /// Force (or release) the original allocating stepping loops. The
-    /// two paths are bit-identical — this exists so tests, benches, and
-    /// `verify.sh` can prove it.
+    /// paths are bit-identical — this exists so tests, benches, and
+    /// `verify.sh` can prove it. Releasing returns to the environment's
+    /// non-reference engine (event-driven unless `FABRIC_EVENT_PATH=0`).
     pub fn force_reference_path(&mut self, on: bool) {
-        self.reference_path = on;
+        self.path = if on { StepPath::Reference } else { self.gated_path };
+    }
+
+    /// Select a stepping engine explicitly (the three-way gate).
+    pub fn force_path(&mut self, path: StepPath) {
+        self.path = path;
+        if path != StepPath::Reference {
+            self.gated_path = path;
+        }
+    }
+
+    /// The active stepping engine.
+    pub fn step_path(&self) -> StepPath {
+        self.path
     }
 
     /// Whether the reference (slow) stepping path is active.
     pub fn reference_path(&self) -> bool {
-        self.reference_path
+        self.path == StepPath::Reference
     }
 
     /// Fast-path instrumentation counters.
@@ -675,7 +892,7 @@ impl<S: Shaper> Fabric<S> {
     pub fn step(&mut self, dt: f64) -> Vec<FlowId> {
         assert!(dt > 0.0, "step must be positive");
         self.perf.steps += 1;
-        if self.reference_path {
+        if self.path == StepPath::Reference {
             return self.step_reference(dt);
         }
 
@@ -807,6 +1024,404 @@ impl<S: Shaper> Fabric<S> {
         completed
     }
 
+    /// Advance the fabric by up to `max_steps` ticks of `dt` seconds,
+    /// appending completed flows to `completed` in exactly the order
+    /// repeated [`Fabric::step`] calls would report them. Returns the
+    /// number of steps actually taken.
+    ///
+    /// Stops early only after a step that completes the **last** active
+    /// flow, so drain loops never tick past the completion they wait
+    /// for; a fabric that starts flow-free runs all `max_steps` as idle
+    /// ticks. Callers that need more steps after a drain simply call
+    /// again — the remainder batches as an idle jump.
+    ///
+    /// On the event-driven path (the default) this is where stepping
+    /// cost collapses: idle stretches batch through [`Shaper::rest`],
+    /// and busy stretches run the event kernel ([`Fabric::next_event`]
+    /// horizon + struct-of-arrays stepping). On the fast and reference
+    /// paths it is the literal per-step loop, so the three-way
+    /// equivalence gate covers batched callers identically.
+    pub fn advance(&mut self, dt: f64, max_steps: u64, completed: &mut Vec<FlowId>) -> u64 {
+        assert!(dt > 0.0, "step must be positive");
+        let mut taken = 0u64;
+        if self.path != StepPath::Event {
+            while taken < max_steps {
+                let done = self.step(dt);
+                taken += 1;
+                if !done.is_empty() {
+                    completed.extend_from_slice(&done);
+                    if self.flows.is_empty() {
+                        break;
+                    }
+                }
+            }
+            return taken;
+        }
+
+        while taken < max_steps {
+            if self.flows.is_empty() {
+                // Idle jump: batch every remaining tick through the
+                // shapers' closed-form rests. Grants of an idle step
+                // are exactly 0.0 on every shaper, so `last_tx_bits`
+                // and `total_tx_bits` land on the stepped loop's
+                // values, and the clock advances by the same repeated
+                // `+= dt` the loop would perform.
+                let k = max_steps - taken;
+                for node in &mut self.nodes {
+                    node.shaper.rest(self.now_s, dt, k);
+                    node.last_tx_bits = 0.0;
+                }
+                self.now_s = crate::shaper::advance_clock(self.now_s, dt, k);
+                self.perf.steps += k;
+                self.perf.empty_steps += k;
+                self.perf.event_steps += k;
+                self.perf.event_jumps += 1;
+                taken += k;
+                break;
+            }
+            // (Re)establish the rate cache for the current signature,
+            // then run the kernel as far as the event horizon proves
+            // the cache must keep hitting; the window's first step
+            // plays the general step's role.
+            self.refresh_rates();
+            let k = self.event_window(dt, max_steps - taken, completed);
+            if k > 0 {
+                taken += k;
+                if self.flows.is_empty() {
+                    // The kernel's final step completed the last flow.
+                    break;
+                }
+                continue;
+            }
+            // Stalled window: an event is due within the guard slack
+            // (e.g. a flow is a few ticks from completing) or a shaper
+            // offers no closed-form bound. One honest general step
+            // guarantees progress.
+            let done = self.step(dt);
+            taken += 1;
+            if !done.is_empty() {
+                completed.extend_from_slice(&done);
+                if self.flows.is_empty() {
+                    break;
+                }
+            }
+        }
+        taken
+    }
+
+    /// Closed-form min-reduction of the next event horizon: how many
+    /// upcoming ticks of `dt` provably cannot change any input of the
+    /// cached rate allocation. Per-node [`Shaper::hint_stable_steps`]
+    /// crossings (+1: the window's first step is validated against the
+    /// live signature before the window opens, the bound covers the
+    /// transmits *after* it), the fault schedule's next episode edge
+    /// (with two ticks of guard slack for the iterated clock), per-flow
+    /// completion horizons (how long `remaining` provably stays above
+    /// the per-step demand `rate * dt`, with a relative `1e-6` plus two
+    /// absolute guard steps absorbing delivery rounding — available
+    /// whenever the rate cache is current), and the caller's `budget`
+    /// all reduce in. The bounds are conservative, so actual
+    /// completions are still detected eagerly inside the window; the
+    /// horizon only proves which re-reads may be skipped.
+    pub fn next_event(&self, dt: f64, budget: u64) -> NextEvent {
+        let mut ev = NextEvent {
+            steps: budget,
+            cause: EventCause::Budget,
+        };
+        if let Some(s) = &self.faults {
+            let t_next = s.next_transition_after(self.now_s);
+            if t_next.is_finite() {
+                let raw = (t_next - self.now_s) / dt;
+                let horizon = if raw <= 3.0 {
+                    0
+                } else {
+                    (raw.floor() as u64).saturating_sub(2)
+                };
+                if horizon < ev.steps {
+                    ev = NextEvent {
+                        steps: horizon,
+                        cause: EventCause::FaultTransition,
+                    };
+                }
+            }
+        }
+        for (v, node) in self.nodes.iter().enumerate() {
+            let stable = node
+                .shaper
+                .hint_stable_steps(self.now_s, dt)
+                .saturating_add(1);
+            if stable < ev.steps {
+                ev = NextEvent {
+                    steps: stable,
+                    cause: EventCause::HintCrossing(v),
+                };
+            }
+        }
+        let sc = &self.scratch;
+        if sc.sig_epoch == self.flow_epoch && sc.rate.len() == self.flows.len() {
+            for (i, f) in self.flows.values().enumerate() {
+                let h = flow_completion_horizon(f.remaining_bits, sc.rate[i] * dt);
+                if h < ev.steps {
+                    ev = NextEvent {
+                        steps: h,
+                        cause: EventCause::Completion(sc.ids[i]),
+                    };
+                }
+            }
+        }
+        ev
+    }
+
+    /// The kernel's sharpened event horizon. Preconditions: the scratch
+    /// mirrors (`node_demand`, `want`, `ev_rem`) were gathered for the
+    /// current flow set at the current clock. Min-reduces the same
+    /// fault-schedule and budget bounds as [`Fabric::next_event`], but
+    /// swaps in the per-node [`Shaper::hint_stable_steps_busy`] bound —
+    /// the kernel holds each node's demand bit-constant inside the
+    /// window (see the demand hoist in [`Fabric::event_window`]), which
+    /// is exactly the promise that bound is allowed to assume — and
+    /// per-flow completion horizons over the gathered wants. In the
+    /// depleted fig19 steady state this is the difference between a
+    /// zero-length window (a bucket sitting *at* its hint threshold is
+    /// always "one idle tick from crossing" under the demand-agnostic
+    /// bound) and a window spanning the whole depletion plateau.
+    fn busy_horizon(&self, dt: f64, budget: u64) -> u64 {
+        let mut window = budget;
+        if let Some(s) = &self.faults {
+            let t_next = s.next_transition_after(self.now_s);
+            if t_next.is_finite() {
+                let raw = (t_next - self.now_s) / dt;
+                window = window.min(if raw <= 3.0 {
+                    0
+                } else {
+                    (raw.floor() as u64).saturating_sub(2)
+                });
+            }
+        }
+        let sc = &self.scratch;
+        for (v, node) in self.nodes.iter().enumerate() {
+            if window == 0 {
+                return 0;
+            }
+            let stable = node
+                .shaper
+                .hint_stable_steps_busy(self.now_s, dt, sc.node_demand[v])
+                .saturating_add(1);
+            window = window.min(stable);
+        }
+        for i in 0..sc.want.len() {
+            let w = sc.want[i];
+            // Quick accept without the division: `remaining` more than
+            // `window + 4` demands away (with a relative margin beating
+            // the horizon's own `1e-6` discount) cannot bound a window
+            // this short.
+            if w > 0.0 && sc.ev_rem[i] > (window as f64 + 4.0) * (1.0 + 2e-6) * w {
+                continue;
+            }
+            window = window.min(flow_completion_horizon(sc.ev_rem[i], w));
+        }
+        window
+    }
+
+    /// Run the event kernel for up to `budget` steps. Preconditions:
+    /// event path, flows present, and a general step *just* ran (so the
+    /// scratch cache mirrors the live flow set). Returns steps taken
+    /// (0 when the live signature no longer matches the cache — the
+    /// caller's next general step recomputes honestly).
+    ///
+    /// Every kernel step executes the identical floating-point
+    /// recurrences of the fast path's busy step — per-node `transmit`
+    /// (shaper state, including RNGs, advances every tick exactly as
+    /// stepped), scale division, delivery subtraction, `now += dt` — on
+    /// struct-of-arrays mirrors. What it skips, the
+    /// [`Fabric::busy_horizon`] proof obligations cover: the per-step
+    /// hint/factor gathers and signature compares, the flow-map
+    /// walks, and the per-step demand pass — inside the window every
+    /// flow's demand `min(rate*dt, remaining)` is provably the constant
+    /// bit pattern `rate*dt` (the completion horizons guarantee
+    /// `remaining` stays above it), so wants and per-node demand sums
+    /// are computed once at entry.
+    fn event_window(&mut self, dt: f64, budget: u64, completed: &mut Vec<FlowId>) -> u64 {
+        let n_nodes = self.nodes.len();
+        {
+            let sc = &self.scratch;
+            if budget == 0
+                || self.flows.is_empty()
+                || sc.sig_epoch != self.flow_epoch
+                || sc.sig_egress.len() != n_nodes
+                || sc.sig_core != self.core_capacity_bps.map(f64::to_bits)
+            {
+                return 0;
+            }
+        }
+
+        // Entry validation: the cache was signed during the last
+        // refresh (one tick ago); re-derive each node's live signature
+        // word once and bail to the general path on any mismatch (e.g.
+        // a bucket crossed its hint threshold during that step's
+        // transmit). A passed check makes the window's first step a
+        // proven cache hit; `busy_horizon` extends the proof to the
+        // rest.
+        let sc = &mut self.scratch;
+        for (v, node) in self.nodes.iter().enumerate() {
+            let factor = match &self.faults {
+                Some(s) => s.factor_at(v, self.now_s),
+                None => 1.0,
+            };
+            let eg = node.shaper.rate_hint(self.now_s).max(0.0) * factor;
+            let ing = node.ingress_cap_bps * factor;
+            if sc.sig_egress[v] != eg.to_bits() || sc.sig_ingress[v] != ing.to_bits() {
+                return 0;
+            }
+        }
+
+        // Gather the struct-of-arrays mirrors (flow id order — the
+        // same order every per-step pass iterates in), then run the
+        // demand pass once: wants and per-node demand sums use the same
+        // expressions in the same accumulation order as the per-step
+        // pass, so the hoisted values are bitwise what every in-window
+        // step would have recomputed.
+        let k_flows = sc.ids.len();
+        sc.ev_src.clear();
+        for spec in &sc.specs {
+            sc.ev_src.push(spec.src as u32);
+        }
+        sc.ev_rem.clear();
+        for f in self.flows.values() {
+            sc.ev_rem.push(f.remaining_bits);
+        }
+        debug_assert_eq!(sc.ev_rem.len(), k_flows);
+        sc.node_demand.clear();
+        sc.node_demand.resize(n_nodes, 0.0);
+        sc.want.clear();
+        for i in 0..k_flows {
+            let want = (sc.rate[i] * dt).min(sc.ev_rem[i]);
+            sc.node_demand[sc.ev_src[i] as usize] += want;
+            sc.want.push(want);
+        }
+        sc.node_scale.clear();
+        sc.node_scale.resize(n_nodes, 1.0);
+
+        // The horizon bounds how far the cache may be reused *without
+        // re-validation*; the window's first step needs no horizon at
+        // all — the refresh and entry validation just proved its
+        // signature live, which is exactly the fast path's per-step
+        // check. So the window is always at least one step, and an
+        // imminent event (a flow a few ticks from completing, a fault
+        // edge inside the guard slack) degrades to single-step windows
+        // instead of bouncing back to the general path.
+        let horizon = self.busy_horizon(dt, budget);
+        let window = horizon.max(1);
+
+        // Deliver-pass strategy. Within the *unclamped* horizon a flow
+        // with `want > 1e-6` keeps `remaining > 2*want > 1e-6` (the
+        // completion horizons guarantee it) and a zero-want flow never
+        // moves, so unless some flow sits in the sub-`1e-6`-want
+        // corner (where the absolute completion threshold can be
+        // crossed while the demand stays bit-stable), no completion
+        // can occur and the per-flow threshold check is dead code the
+        // kernel may skip. Independently, when the flow order is
+        // src-sorted (the engine starts shuffles src-major), the
+        // deliver pass decomposes into contiguous same-source runs
+        // with a scalar scale — the per-flow updates are independent,
+        // so run order does not affect the bits.
+        let sc = &mut self.scratch;
+        let completions_possible =
+            horizon == 0 || sc.want.iter().any(|&w| w > 0.0 && w <= 1e-6);
+        sc.ev_runs.clear();
+        if !completions_possible && sc.ev_src.windows(2).all(|p| p[0] <= p[1]) {
+            let mut i = 0u32;
+            while (i as usize) < k_flows {
+                let v = sc.ev_src[i as usize];
+                let mut j = i + 1;
+                while (j as usize) < k_flows && sc.ev_src[j as usize] == v {
+                    j += 1;
+                }
+                sc.ev_runs.push((i, j));
+                i = j;
+            }
+        }
+
+        let first_new = completed.len();
+        let mut taken = 0u64;
+        {
+            let Fabric {
+                nodes,
+                scratch: sc,
+                now_s,
+                ..
+            } = &mut *self;
+            while taken < window {
+                // Transmit pass: demand is the hoisted constant.
+                for (v, node) in nodes.iter_mut().enumerate() {
+                    let demand = sc.node_demand[v];
+                    let granted = node.shaper.transmit(*now_s, dt, demand);
+                    node.last_tx_bits = granted;
+                    node.total_tx_bits += granted;
+                    sc.node_scale[v] = if demand > 0.0 { granted / demand } else { 1.0 };
+                }
+                // Fused deliver pass; `want * scale` is the identical
+                // expression the per-step pass evaluates.
+                if !sc.ev_runs.is_empty() {
+                    // Run variant: no completion is reachable in this
+                    // window, so deliver is pure arithmetic.
+                    for &(a, b) in &sc.ev_runs {
+                        let s = sc.node_scale[sc.ev_src[a as usize] as usize];
+                        let (a, b) = (a as usize, b as usize);
+                        for (rem, want) in sc.ev_rem[a..b].iter_mut().zip(&sc.want[a..b]) {
+                            *rem -= *want * s;
+                        }
+                    }
+                } else {
+                    // Checking variant: completions end the window
+                    // after this step (the flow-set epoch is an event).
+                    let mut done_any = false;
+                    for i in 0..k_flows {
+                        sc.ev_rem[i] -= sc.want[i] * sc.node_scale[sc.ev_src[i] as usize];
+                        if sc.ev_rem[i] <= 1e-6 {
+                            completed.push(sc.ids[i]);
+                            done_any = true;
+                        }
+                    }
+                    if done_any {
+                        *now_s += dt;
+                        taken += 1;
+                        break;
+                    }
+                }
+                *now_s += dt;
+                taken += 1;
+            }
+        }
+        self.perf.steps += taken;
+        self.perf.rate_cache_hits += taken;
+        self.perf.event_steps += taken;
+        self.perf.event_jumps += 1;
+
+        // Scatter the mirrors back and apply completions exactly as a
+        // per-step path would have at the completing step. The last
+        // delivered rate is recomputed from the (constant) want and the
+        // final step's scale — the same `delivered / dt` bits the
+        // per-step path stores every tick.
+        {
+            let sc = &self.scratch;
+            for (f, i) in self.flows.values_mut().zip(0..) {
+                f.remaining_bits = sc.ev_rem[i];
+                f.last_rate_bps = sc.want[i] * sc.node_scale[sc.ev_src[i] as usize] / dt;
+            }
+        }
+        if completed.len() > first_new {
+            for id in &completed[first_new..] {
+                if let Some(f) = self.flows.remove(id) {
+                    self.active_eg[f.spec.src] -= 1;
+                    self.active_in[f.spec.dst] -= 1;
+                }
+            }
+            self.flow_epoch += 1;
+        }
+        taken
+    }
+
     /// Advance with **no** flows for `duration` (resting: token refill).
     ///
     /// The fast path delegates to [`Shaper::rest`], which replaces the
@@ -817,7 +1432,7 @@ impl<S: Shaper> Fabric<S> {
     pub fn rest(&mut self, duration: f64, dt: f64) {
         assert!(self.flows.is_empty(), "rest() with active flows");
         let steps = (duration / dt).round().max(0.0) as u64;
-        if self.reference_path {
+        if self.path == StepPath::Reference {
             for _ in 0..steps {
                 for node in &mut self.nodes {
                     node.shaper.transmit(self.now_s, dt, 0.0);
@@ -833,11 +1448,7 @@ impl<S: Shaper> Fabric<S> {
                 node.last_tx_bits = 0.0;
             }
         }
-        let mut t = self.now_s;
-        for _ in 0..steps {
-            t += dt;
-        }
-        self.now_s = t;
+        self.now_s = crate::shaper::advance_clock(self.now_s, dt, steps);
     }
 
     /// Reset every node's shaper and the clock (fresh VMs).

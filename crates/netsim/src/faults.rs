@@ -368,6 +368,29 @@ impl FaultSchedule {
         }
     }
 
+    /// Earliest episode edge (start or end) strictly after time `t`,
+    /// or `f64::INFINITY` when no edge remains.
+    ///
+    /// Every change of any node's rate factor happens at an episode
+    /// start or end, so `factor_at(node, u)` is constant for all nodes
+    /// over `t <= u < next_transition_after(t)`. The event-driven
+    /// fabric engine turns this into a conservative step horizon. The
+    /// scan is O(timeline) on purpose: tests (and future generators)
+    /// may push episodes directly, so no precomputed edge index can be
+    /// trusted to stay in sync.
+    pub fn next_transition_after(&self, t: f64) -> f64 {
+        let mut next = f64::INFINITY;
+        for e in &self.timeline {
+            if e.start_s > t {
+                next = next.min(e.start_s);
+            }
+            if e.end_s > t {
+                next = next.min(e.end_s);
+            }
+        }
+        next
+    }
+
     /// Whether `node` is inside a VM-stall episode at time `t`.
     pub fn stalled_at(&self, node: usize, t: f64) -> bool {
         self.per_node
@@ -483,6 +506,46 @@ impl<S: Shaper> Shaper for FaultInjector<S> {
         // precisely the inner shaper's idle loop.
         self.inner.rest(now, dt, steps);
     }
+
+    fn hint_stable_steps(&self, now: f64, dt: f64) -> u64 {
+        // The composed hint is `inner × factor`: pinned while both the
+        // inner hint and the schedule's factor are pinned. The factor
+        // is piecewise constant between episode edges; the clock is
+        // iterated (`now += dt`), so two ticks of guard slack absorb
+        // its accumulated rounding, mirroring `Fabric::next_event`.
+        let sched = schedule_stable_steps(&self.schedule, now, dt);
+        sched.min(self.inner.hint_stable_steps(now, dt))
+    }
+
+    fn hint_stable_steps_busy(&self, now: f64, dt: f64, demand_bits: f64) -> u64 {
+        // The inner shaper sees the *offered* volume, which equals the
+        // caller's demand only while the factor is exactly 1.0; under a
+        // degraded ceiling the offer depends on the inner hint, so only
+        // the demand-agnostic inner bound is sound there.
+        let sched = schedule_stable_steps(&self.schedule, now, dt);
+        let inner = if self.schedule.factor_at(self.node, now) >= 1.0 {
+            self.inner.hint_stable_steps_busy(now, dt, demand_bits)
+        } else {
+            self.inner.hint_stable_steps(now, dt)
+        };
+        sched.min(inner)
+    }
+}
+
+/// Conservative number of `dt` ticks for which a schedule's rate
+/// factors provably cannot change: the distance to the next episode
+/// edge, minus two ticks of slack for the iterated (`+= dt`) clock.
+fn schedule_stable_steps(schedule: &FaultSchedule, now: f64, dt: f64) -> u64 {
+    let t_next = schedule.next_transition_after(now);
+    if !t_next.is_finite() {
+        return u64::MAX;
+    }
+    let raw = (t_next - now) / dt;
+    if raw <= 3.0 {
+        0
+    } else {
+        (raw.floor() as u64).saturating_sub(2)
+    }
 }
 
 #[cfg(test)]
@@ -505,6 +568,71 @@ mod tests {
             probe_loss_prob: 0.01,
             pair_death_rate_per_hour: 0.0,
         }
+    }
+
+    #[test]
+    fn rest_across_ceiling_change_matches_idle_loop() {
+        // A rest window spanning a degrade episode's start *and* end:
+        // the injector's ceiling changes twice mid-window, but idle
+        // offered volume is exactly 0.0 under any factor, so the
+        // delegated closed-form rest must equal the honest idle loop
+        // bitwise — and the very next grants (inside and after the
+        // episode) must agree too.
+        use crate::shaper::TokenBucket;
+        let ep = FaultEpisode {
+            node: 0,
+            start_s: 2.0,
+            end_s: 4.0,
+            kind: FaultKind::LinkDegrade,
+            rate_factor: 0.3,
+        };
+        let schedule = FaultSchedule::from_episodes(1, 100.0, [ep]);
+        let mk = || {
+            FaultInjector::new(
+                TokenBucket::sigma_rho(50e9, 1e9, 10e9).with_idle_refill(2e9),
+                0,
+                schedule.clone(),
+            )
+        };
+        let (mut fast, mut slow) = (mk(), mk());
+        for s in [&mut fast, &mut slow] {
+            s.transmit(0.0, 1.0, f64::INFINITY); // drain below the cap
+        }
+        // 60 idle ticks of 0.1 s from t=1.0: crosses t=2.0 and t=4.0.
+        fast.rest(1.0, 0.1, 60);
+        let mut t = 1.0;
+        for _ in 0..60 {
+            slow.transmit(t, 0.1, 0.0);
+            t += 0.1;
+        }
+        assert_eq!(
+            fast.token_budget_bits().unwrap().to_bits(),
+            slow.token_budget_bits().unwrap().to_bits(),
+            "budget diverged across the ceiling change"
+        );
+        let (gf, gs) = (
+            fast.transmit(t, 0.1, f64::INFINITY),
+            slow.transmit(t, 0.1, f64::INFINITY),
+        );
+        assert_eq!(gf.to_bits(), gs.to_bits(), "post-window grant diverged");
+        // Same again with the window ending *inside* the episode, so
+        // the follow-up grant runs under the degraded ceiling.
+        let (mut fast, mut slow) = (mk(), mk());
+        for s in [&mut fast, &mut slow] {
+            s.transmit(0.0, 1.0, f64::INFINITY);
+        }
+        fast.rest(1.0, 0.1, 15); // ends at t=2.5, mid-episode
+        let mut t = 1.0;
+        for _ in 0..15 {
+            slow.transmit(t, 0.1, 0.0);
+            t += 0.1;
+        }
+        let (gf, gs) = (
+            fast.transmit(t, 0.1, f64::INFINITY),
+            slow.transmit(t, 0.1, f64::INFINITY),
+        );
+        assert_eq!(gf.to_bits(), gs.to_bits(), "mid-episode grant diverged");
+        assert!(gf < 0.3 * 10e9 * 0.1 + 1.0, "degraded ceiling not applied");
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod tcp;
 pub mod trace;
 pub mod units;
 
-pub use fabric::{Fabric, FabricPerf, FlowId, FlowSpec, NodeId};
+pub use fabric::{EventCause, Fabric, FabricPerf, FlowId, FlowSpec, NextEvent, NodeId, StepPath};
 pub use faults::{FaultConfig, FaultEpisode, FaultInjector, FaultKind, FaultSchedule};
 pub use nic::{NicModel, PacketOutcome};
 pub use pattern::TrafficPattern;

@@ -78,6 +78,63 @@ pub trait Shaper {
             t += dt;
         }
     }
+
+    /// Closed-form next-event bound: a number of upcoming `transmit`
+    /// calls of step `dt` that **cannot** change the bitwise value of
+    /// [`Shaper::rate_hint`], no matter what demand each call carries.
+    ///
+    /// The event-driven fabric engine min-reduces this bound (together
+    /// with fault-schedule transitions and the caller's step budget)
+    /// into its per-window event horizon: while every node's hint is
+    /// provably pinned, the cached max-min allocation is reused without
+    /// even re-reading the hints. Returning a smaller value than
+    /// possible costs only performance; returning a larger value than
+    /// the true crossing distance would be a *correctness* bug, so
+    /// conservative closed forms subtract guard slack. The default — no
+    /// guarantee at all — is always safe: the engine then re-checks the
+    /// hint bit pattern every step, which is exactly what the fast path
+    /// does.
+    fn hint_stable_steps(&self, now: f64, dt: f64) -> u64 {
+        let _ = (now, dt);
+        0
+    }
+
+    /// [`Shaper::hint_stable_steps`] sharpened with a demand promise:
+    /// the bound may additionally assume that every one of those
+    /// `transmit` calls carries **exactly** `demand_bits` of demand.
+    ///
+    /// The event-driven fabric engine can make that promise because the
+    /// cached max-min allocation is constant within a window and every
+    /// in-window flow demands `rate * dt` (completion crossings bound
+    /// the window separately), so per-node demand is a per-step
+    /// constant. Knowing the demand turns the token bucket's worst-case
+    /// crossing bound into a sharp one: under sustained demand at or
+    /// above the refill rate the budget is non-increasing, so a
+    /// depleted bucket is *pinned* in its throttled regime instead of
+    /// being one idle tick away from re-crossing the hint threshold.
+    /// The default ignores the promise and delegates to the
+    /// demand-agnostic bound, which is always safe.
+    fn hint_stable_steps_busy(&self, now: f64, dt: f64, demand_bits: f64) -> u64 {
+        let _ = demand_bits;
+        self.hint_stable_steps(now, dt)
+    }
+}
+
+/// Advance a clock by `steps` ticks of `dt` seconds, one addition per
+/// tick — **never** the closed form `now + steps as f64 * dt`, which
+/// rounds differently.
+///
+/// This is the single clock idiom shared by `Fabric::rest`, the
+/// event-driven `Fabric::advance` idle jump, and
+/// `measure::execute_rest`: batched engines may skip per-step *work*,
+/// but the clock value they leave behind must be bitwise identical to
+/// the stepped loop's.
+pub fn advance_clock(now: f64, dt: f64, steps: u64) -> f64 {
+    let mut t = now;
+    for _ in 0..steps {
+        t += dt;
+    }
+    t
 }
 
 /// Unconditioned constant-rate link (e.g. a physical NIC cap).
@@ -108,6 +165,11 @@ impl Shaper for StaticShaper {
     fn rest(&mut self, _now: f64, _dt: f64, _steps: u64) {
         // Stateless: an idle transmit observes nothing and changes
         // nothing, so any number of them is a no-op.
+    }
+
+    fn hint_stable_steps(&self, _now: f64, _dt: f64) -> u64 {
+        // The hint is a construction-time constant.
+        u64::MAX
     }
 }
 
@@ -155,6 +217,23 @@ impl<A: Shaper, B: Shaper> Shaper for MinShaper<A, B> {
         self.a.rest(now, dt, steps);
         self.b.rest(now, dt, steps);
     }
+
+    fn hint_stable_steps(&self, now: f64, dt: f64) -> u64 {
+        // The composed hint is min(a, b): if both operands are bitwise
+        // pinned for k steps, so is their minimum.
+        self.a
+            .hint_stable_steps(now, dt)
+            .min(self.b.hint_stable_steps(now, dt))
+    }
+
+    fn hint_stable_steps_busy(&self, now: f64, dt: f64, demand_bits: f64) -> u64 {
+        // Stage `a` sees the caller's demand verbatim; stage `b` sees
+        // whatever `a` admits, which varies per step, so only the
+        // demand-agnostic bound is sound for it.
+        self.a
+            .hint_stable_steps_busy(now, dt, demand_bits)
+            .min(self.b.hint_stable_steps(now, dt))
+    }
 }
 
 impl Shaper for Box<dyn Shaper + Send> {
@@ -177,6 +256,14 @@ impl Shaper for Box<dyn Shaper + Send> {
     fn rest(&mut self, now: f64, dt: f64, steps: u64) {
         (**self).rest(now, dt, steps)
     }
+
+    fn hint_stable_steps(&self, now: f64, dt: f64) -> u64 {
+        (**self).hint_stable_steps(now, dt)
+    }
+
+    fn hint_stable_steps_busy(&self, now: f64, dt: f64, demand_bits: f64) -> u64 {
+        (**self).hint_stable_steps_busy(now, dt, demand_bits)
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +284,50 @@ mod tests {
         let mut s = MinShaper::new(StaticShaper::new(gbps(10.0)), StaticShaper::new(gbps(4.0)));
         assert_eq!(s.transmit(0.0, 1.0, f64::INFINITY), gbps(4.0));
         assert_eq!(s.rate_hint(0.0), gbps(4.0));
+    }
+
+    #[test]
+    fn min_shaper_asymmetric_inner_rests() {
+        use super::TokenBucket;
+        use crate::units::gbit;
+        // Two token-bucket stages with different capacities and idle
+        // refills: their idle recurrences reach the capacity fixed
+        // point after *different* step counts (~5 s vs ~180 s here).
+        // Stage-wise rest must match the composed idle loop bitwise —
+        // including the early-exiting stage sitting at its cap while
+        // the slow stage keeps refilling.
+        let mk = || {
+            MinShaper::new(
+                TokenBucket::sigma_rho(gbit(20.0), gbps(1.0), gbps(10.0))
+                    .with_idle_refill(gbps(4.0)),
+                TokenBucket::sigma_rho(gbit(90.0), gbps(2.0), gbps(9.0))
+                    .with_idle_refill(gbps(0.5)),
+            )
+        };
+        let (mut fast, mut slow) = (mk(), mk());
+        for s in [&mut fast, &mut slow] {
+            s.transmit(0.0, 2.0, f64::INFINITY); // drain both stages
+        }
+        // 400 ticks of 0.1 s: stage a caps out early, stage b does not.
+        fast.rest(2.0, 0.1, 400);
+        let mut t = 2.0;
+        for _ in 0..400 {
+            slow.transmit(t, 0.1, 0.0);
+            t += 0.1;
+        }
+        // token_budget_bits surfaces stage a; stage b is pinned through
+        // the grants it admits over a long follow-up burst.
+        assert_eq!(
+            fast.token_budget_bits().unwrap().to_bits(),
+            slow.token_budget_bits().unwrap().to_bits(),
+            "stage-a budget diverged"
+        );
+        for k in 0..50 {
+            let tt = t + k as f64 * 0.1;
+            let gf = fast.transmit(tt, 0.1, f64::INFINITY);
+            let gs = slow.transmit(tt, 0.1, f64::INFINITY);
+            assert_eq!(gf.to_bits(), gs.to_bits(), "burst step {k} diverged");
+        }
     }
 
     #[test]

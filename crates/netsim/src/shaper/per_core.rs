@@ -149,6 +149,14 @@ impl Shaper for PerCoreQos {
         self.burst_penalty = 0.0;
     }
 
+    fn hint_stable_steps(&self, _now: f64, _dt: f64) -> u64 {
+        // The hint is `advertised * efficiency` — a construction-time
+        // constant. Burst state and noise affect only `transmit` grants,
+        // which the event engine still performs step by step (they
+        // advance the RNG), never the planning hint.
+        u64::MAX
+    }
+
     fn rest(&mut self, _now: f64, _dt: f64, steps: u64) {
         // An idle tick steps the AR(1) noise, clears the burst marker
         // and returns — `now`/`dt` are never read, so the loop reduces

@@ -197,6 +197,116 @@ impl Shaper for TokenBucket {
         Some(self.budget_bits)
     }
 
+    fn hint_stable_steps(&self, _now: f64, dt: f64) -> u64 {
+        // The hint flips exactly when the budget crosses the burst
+        // threshold `high_rate * 0.05` (see `rate_hint`). One transmit
+        // moves the budget by at most `max(high, refill, idle) * dt`
+        // bits in either direction: a grant removes at most
+        // `high_rate * dt` (the peak-rate cap applies before the budget
+        // cap) and a refill adds at most `max(refill, idle) * dt` (the
+        // capacity cap only shrinks the upward move). So the crossing
+        // needs at least `distance / max_move` steps; the fixed-point
+        // division is exact on the operands the recurrence actually
+        // uses, and the `- 1` guard absorbs accumulated rounding of the
+        // real-arithmetic bound.
+        if self.high_rate_bps.to_bits() == self.refill_bps.to_bits() {
+            // Degenerate bucket: both hint branches return the same
+            // bit pattern, so no crossing is ever observable.
+            return u64::MAX;
+        }
+        let max_move = self.high_rate_bps.max(self.refill_bps).max(self.idle_refill_bps) * dt;
+        if max_move <= 0.0 {
+            return u64::MAX;
+        }
+        let distance = (self.budget_bits - self.high_rate_bps * 0.05).abs();
+        ((distance / max_move).floor() as u64).saturating_sub(1)
+    }
+
+    fn hint_stable_steps_busy(&self, now: f64, dt: f64, demand_bits: f64) -> u64 {
+        // With a known constant per-step demand the budget recurrence
+        // becomes monotone, and the worst-case `max_move` bound of
+        // `hint_stable_steps` sharpens to the actual drift direction:
+        //
+        // * `demand >= refill*dt` — a grant consumes at least the
+        //   refill, so the budget is non-increasing. Below the
+        //   threshold it is *pinned* in the throttled regime (this is
+        //   the depleted fig19 steady state); above, only the downward
+        //   crossing at rate ≤ `(high - refill)*dt` per step matters.
+        // * `demand < refill*dt` (incl. idle, which refills at the idle
+        //   rate) — the grant equals the demand, so the budget rises by
+        //   exactly `refill*dt - demand` per step: moving away from the
+        //   threshold when above it, toward it at a known rate when
+        //   below.
+        //
+        // Monotonicity is a real-arithmetic argument; in floating point
+        // each step may still drift ~1 ulp the "wrong" way, so every
+        // branch also bounds the window by `distance / drift` with a
+        // per-step drift allowance ~1e3 ulp — astronomically larger
+        // than the true rounding error, yet still yielding multi-
+        // billion-step windows. The `- 2` guards absorb the rounding of
+        // the bound computation itself.
+        //
+        // One wrinkle both "above" branches must carry: when the budget
+        // sits within one refill increment of capacity, the capacity cap
+        // truncates the refill, so the first step can drop the budget by
+        // up to `refill*dt` more than the steady recurrence would (the
+        // refill is swallowed while the grant is not). The truncation
+        // has a fixed point — after one capped step the budget is at
+        // least `refill*dt` below capacity and the cap never binds again
+        // within the regime — so a single `refill_step` of extra
+        // distance slack makes the bounds sound.
+        if self.high_rate_bps.to_bits() == self.refill_bps.to_bits() {
+            return u64::MAX; // both hint branches are the same bits
+        }
+        if self.refill_bps > self.high_rate_bps || self.capacity_bits < self.refill_bps * dt {
+            // Pathological configurations (refill above the peak rate,
+            // or a capacity smaller than one refill increment, where
+            // the capacity cap can truncate a sub-refill grant) that
+            // the monotonicity argument does not cover; fall back to
+            // the worst-case bound.
+            return self.hint_stable_steps(now, dt);
+        }
+        let threshold = self.high_rate_bps * 0.05;
+        let refill_step = self.refill_bps * dt;
+        let drift = (self.budget_bits.abs() + refill_step) * 1e-12 + 1e-9;
+        let steps = |distance: f64, per_step: f64| -> u64 {
+            ((distance / per_step).floor() as u64).saturating_sub(2)
+        };
+        if demand_bits > 0.0 && demand_bits >= refill_step {
+            if self.budget_bits <= threshold {
+                // Pinned below: only FP drift can cross upward.
+                steps(threshold - self.budget_bits, drift)
+            } else {
+                // Falling at ≤ (high-refill)*dt per step, plus the
+                // one-time cap-truncation drop of ≤ refill*dt.
+                let max_down = (self.high_rate_bps - self.refill_bps) * dt;
+                steps(
+                    self.budget_bits - threshold - refill_step,
+                    max_down.max(drift),
+                )
+            }
+        } else {
+            // The grant equals the demand (budget and peak both exceed
+            // a sub-refill demand), so the budget trajectory never goes
+            // below `min(budget, capacity - demand)` — rising until the
+            // cap's fixed point `capacity - demand`, then parked there.
+            let served = demand_bits.max(0.0);
+            if self.budget_bits > threshold {
+                // Above and staying at or above the trajectory floor:
+                // only FP drift can cross downward.
+                let floor = self.budget_bits.min(self.capacity_bits - served);
+                steps(floor - threshold, drift)
+            } else {
+                let up = if demand_bits <= 0.0 {
+                    self.idle_refill_bps * dt
+                } else {
+                    refill_step - demand_bits
+                };
+                steps(threshold - self.budget_bits, up + drift)
+            }
+        }
+    }
+
     fn rest(&mut self, _now: f64, _dt: f64, steps: u64) {
         // Each idle tick performs budget = (budget + idle_refill*dt)
         // .min(capacity) and nothing else. The iteration is monotone
@@ -271,6 +381,55 @@ mod tests {
         assert!(tb.rate_hint(550.0) == gbps(10.0));
         drive(&mut tb, 550.0, 10.0, 0.1);
         assert!(tb.rate_hint(560.0) == gbps(1.0));
+    }
+
+    #[test]
+    fn rest_zero_steps_and_zero_dt_are_noops() {
+        // `steps == 0` must not move the budget at all, and `dt == 0`
+        // must be the bitwise fixed point of the idle recurrence
+        // (`budget + 0` then the capacity cap) no matter how many steps
+        // the window nominally spans.
+        let mut tb = c5_xlarge();
+        tb.set_budget_bits(gbit(7.0));
+        let before = tb.budget_bits().to_bits();
+        tb.rest(0.0, 0.1, 0);
+        assert_eq!(tb.budget_bits().to_bits(), before, "zero steps moved the budget");
+        // `dt == 0`: the refill increment is exactly 0.0, so the idle
+        // recurrence is at its fixed point immediately (`transmit`
+        // itself rejects dt == 0, so the closed form is the only code
+        // that can see this window shape — via `Fabric::rest`'s
+        // degenerate configs).
+        tb.rest(0.0, 0.0, 1_000);
+        assert_eq!(tb.budget_bits().to_bits(), before, "zero dt moved the budget");
+    }
+
+    #[test]
+    fn rest_spanning_exactly_one_refill_boundary() {
+        // Budget placed so the capacity cap is reached *exactly* at a
+        // step boundary (all quantities exact in f64): the closed
+        // form's early exit must neither overshoot the cap nor stop a
+        // step short, and a window extending past the boundary must sit
+        // at the fixed point for the remainder.
+        let dt = 0.1;
+        let cap = gbit(50.0);
+        let refill_step = gbps(1.0) * dt; // 1e8, exact
+        let mk = || {
+            let mut tb = TokenBucket::sigma_rho(cap, gbps(1.0), gbps(10.0));
+            tb.set_budget_bits(cap - 10.0 * refill_step);
+            tb
+        };
+        // Exactly at the boundary: 10 idle steps hit the cap bitwise.
+        let mut fast = mk();
+        fast.rest(0.0, dt, 10);
+        assert_eq!(fast.budget_bits().to_bits(), cap.to_bits());
+        // Spanning the boundary: 25 steps, fixed point after 10.
+        let (mut fast, mut slow) = (mk(), mk());
+        fast.rest(0.0, dt, 25);
+        for i in 0..25 {
+            slow.transmit(i as f64 * dt, dt, 0.0);
+        }
+        assert_eq!(fast.budget_bits().to_bits(), slow.budget_bits().to_bits());
+        assert_eq!(fast.budget_bits().to_bits(), cap.to_bits());
     }
 
     #[test]

@@ -53,6 +53,17 @@ fn allocs() -> u64 {
     ALLOCS.with(|c| c.get())
 }
 
+/// Run `f` inside its own counter epoch and return the number of
+/// allocations it performed. Each measured section gets an independent
+/// epoch — a snapshot at entry and a delta at exit — so probing one
+/// stepping path can never hide (or get blamed for) allocations from
+/// another path's warm-up or measurement.
+fn measured<F: FnOnce()>(f: F) -> u64 {
+    let before = allocs();
+    f();
+    allocs() - before
+}
+
 #[test]
 fn steady_state_stepping_is_allocation_free() {
     let mut fabric: Fabric<Box<dyn Shaper + Send>> = Fabric::new();
@@ -74,12 +85,12 @@ fn steady_state_stepping_is_allocation_free() {
     fabric.reset_perf();
 
     // 1. Cache-hit steady state: zero allocations.
-    let before = allocs();
-    for _ in 0..1_000 {
-        let completed = fabric.step(0.1);
-        assert!(completed.is_empty(), "steady flows must not complete");
-    }
-    let hit_allocs = allocs() - before;
+    let hit_allocs = measured(|| {
+        for _ in 0..1_000 {
+            let completed = fabric.step(0.1);
+            assert!(completed.is_empty(), "steady flows must not complete");
+        }
+    });
     let perf = fabric.perf();
     assert!(perf.rate_cache_hits >= 990, "expected cache hits, got {perf:?}");
     assert_eq!(hit_allocs, 0, "cache-hit steps allocated {hit_allocs} times");
@@ -93,12 +104,12 @@ fn steady_state_stepping_is_allocation_free() {
         fabric.step(0.1);
     }
     fabric.reset_perf();
-    let before = allocs();
-    for i in 0..1_000 {
-        fabric.set_core_capacity(if i % 2 == 0 { 20e9 } else { 30e9 });
-        fabric.step(0.1);
-    }
-    let recompute_allocs = allocs() - before;
+    let recompute_allocs = measured(|| {
+        for i in 0..1_000 {
+            fabric.set_core_capacity(if i % 2 == 0 { 20e9 } else { 30e9 });
+            fabric.step(0.1);
+        }
+    });
     let perf = fabric.perf();
     assert_eq!(perf.rate_recomputes, 1_000, "every step must recompute: {perf:?}");
     assert_eq!(
@@ -115,12 +126,76 @@ fn resting_is_allocation_free() {
     }
     // Warm-up: one rest call settles any lazy shaper state.
     fabric.rest(1.0, 0.1);
-    let before = allocs();
-    fabric.rest(600.0, 0.1);
-    for _ in 0..100 {
-        let completed = fabric.step(0.1);
-        assert!(completed.is_empty());
-    }
-    let rest_allocs = allocs() - before;
+    let rest_allocs = measured(|| {
+        fabric.rest(600.0, 0.1);
+        for _ in 0..100 {
+            let completed = fabric.step(0.1);
+            assert!(completed.is_empty());
+        }
+    });
     assert_eq!(rest_allocs, 0, "rest allocated {rest_allocs} times");
+}
+
+/// The event engine's steady-state jumps must be allocation-free too:
+/// the window kernel works entirely in the pre-grown struct-of-arrays
+/// mirrors (`ev_src`/`ev_rem`/wants/runs) and the caller's completion
+/// buffer. Fast-path stepping and event-path jumping are measured in
+/// **independent counter epochs** on the *same* fabric — each path is
+/// warmed and judged on its own, so neither can mask the other.
+#[test]
+fn event_jump_steady_state_is_allocation_free() {
+    use netsim::fabric::StepPath;
+
+    let mut fabric: Fabric<Box<dyn Shaper + Send>> = Fabric::new();
+    for v in 0..8 {
+        if v % 2 == 0 {
+            fabric.add_node(Box::new(TokenBucket::sigma_rho(5e12, 1e9, 10e9)), 10e9);
+        } else {
+            fabric.add_node(Box::new(StaticShaper::new(8e9)), 10e9);
+        }
+    }
+    // Long-lived flows: no completions, a stable flow set, maximal
+    // event windows.
+    for s in 0..8usize {
+        fabric.start_flow(FlowSpec::new(s, (s + 3) % 8, 1e18));
+    }
+    let mut done = Vec::with_capacity(16);
+
+    // Epoch 1: fast path. Warm inside the path, measure inside the path.
+    fabric.force_path(StepPath::Fast);
+    for _ in 0..50 {
+        fabric.advance(0.1, 4, &mut done);
+    }
+    let fast_allocs = measured(|| {
+        for _ in 0..250 {
+            fabric.advance(0.1, 4, &mut done);
+            assert!(done.is_empty(), "steady flows must not complete");
+        }
+    });
+    assert_eq!(fast_allocs, 0, "fast-path advance allocated {fast_allocs} times");
+
+    // Epoch 2: event path on the same fabric. Its warm-up (growing the
+    // struct-of-arrays mirrors to the high-water mark) happens inside
+    // this epoch's warm-up phase, not under the fast path's counter.
+    fabric.force_path(StepPath::Event);
+    for _ in 0..50 {
+        fabric.advance(0.1, 64, &mut done);
+    }
+    fabric.reset_perf();
+    let event_allocs = measured(|| {
+        for _ in 0..250 {
+            fabric.advance(0.1, 64, &mut done);
+            assert!(done.is_empty(), "steady flows must not complete");
+        }
+    });
+    let perf = fabric.perf();
+    assert!(perf.event_jumps > 0, "event engine never jumped: {perf:?}");
+    assert!(
+        perf.event_steps > perf.steps / 2,
+        "jumps covered too few steps: {perf:?}"
+    );
+    assert_eq!(
+        event_allocs, 0,
+        "event jumps allocated {event_allocs} times ({perf:?})"
+    );
 }

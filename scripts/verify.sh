@@ -120,27 +120,42 @@ if ! diff -u "$replay_a" "$par_a" > /dev/null; then
 fi
 echo "OK: campaign output is invariant to the worker count"
 
-echo "== fabric fast path: bit-identical to the reference path =="
-# The stepping fast path (scratch buffers, rate cache, closed-form
-# rests) must never change results. Three gates:
-#   1. The full faulty campaign re-run with FABRIC_SLOW_PATH=1 (the
-#      reference stepping loops) must match the fast-path replay above
-#      byte for byte. Note the REPRO_JOBS gates already ran through the
-#      fast path, so this diff closes the fast-vs-reference loop.
-#   2. The property suite drives randomized fabrics through both paths
-#      and compares every observable with f64::to_bits.
-#   3. The counting-allocator probe asserts the steady-state stepping
-#      path performs zero heap allocations.
+echo "== fabric engines: fig19 campaign three ways, bit-identical =="
+# The three stepping engines (event — the default, fast via
+# FABRIC_EVENT_PATH=0, reference via FABRIC_SLOW_PATH=1) must never
+# change results. Gates:
+#   1. The full faulty campaign runs three ways; all outputs (golden
+#      hashes included) must match byte for byte. The REPRO_JOBS gates
+#      above already ran the default (event) engine on 1 and 4
+#      workers, so jobs-invariance of the event path is covered too.
+#   2. The property suites drive randomized fabrics through the fast
+#      and event paths against a reference twin and compare every
+#      observable with f64::to_bits — the event suite at every event
+#      boundary, with adversarial zero-length/simultaneous/fault-edge
+#      cases.
+#   3. The counting-allocator probe asserts steady-state stepping and
+#      event jumps perform zero heap allocations, each path measured
+#      in its own counter epoch.
+# (detlint deny-cleanliness of the event engine is enforced by the
+# detlint stage above, which lints the whole workspace.)
 slow_a=$(mktemp)
-trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a"' EXIT
+fast_a=$(mktemp)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a" "$fast_a"' EXIT
 FABRIC_SLOW_PATH=1 cargo run -q --release --offline --example faulty_campaign > "$slow_a"
 if ! diff -u "$replay_a" "$slow_a" > /dev/null; then
-  echo "FAIL: FABRIC_SLOW_PATH=1 output differs from the fast path's:" >&2
+  echo "FAIL: FABRIC_SLOW_PATH=1 output differs from the event path's:" >&2
   diff -u "$replay_a" "$slow_a" >&2 | head -40
   exit 1
 fi
+FABRIC_EVENT_PATH=0 cargo run -q --release --offline --example faulty_campaign > "$fast_a"
+if ! diff -u "$replay_a" "$fast_a" > /dev/null; then
+  echo "FAIL: FABRIC_EVENT_PATH=0 output differs from the event path's:" >&2
+  diff -u "$replay_a" "$fast_a" >&2 | head -40
+  exit 1
+fi
 cargo test -q --release --offline -p netsim --test prop_fabric_fast
+cargo test -q --release --offline -p netsim --test prop_event_driven
 cargo test -q --release --offline -p netsim --test alloc_free
-echo "OK: fast path is bit-identical and allocation-free"
+echo "OK: event, fast, and reference engines are bit-identical; jumps are allocation-free"
 
 echo "== verify.sh: all gates passed =="

@@ -16,7 +16,8 @@
 //! dependency set minimal.
 
 use cloud_repro::cli::{
-    cloud_by_name, get_f64, get_jobs, get_u64, parse_flags, pattern_by_name, workload_by_name,
+    cloud_by_name, fabric_path_by_name, get_f64, get_jobs, get_u64, parse_flags, pattern_by_name,
+    workload_by_name,
 };
 use cloud_repro::prelude::*;
 use netsim::units::hours;
@@ -167,21 +168,34 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let reps = get_u64(flags, "reps", 10)? as usize;
     let nodes = get_u64(flags, "nodes", 12)? as usize;
     let seed = get_u64(flags, "seed", 1)?;
-    // A/B escape hatch: force the fabric's reference stepping loops
-    // instead of the (bit-identical) fast path. Output must not change.
-    let reference = flags.contains_key("reference-fabric");
+    // A/B escape hatch: pick the fabric's stepping engine explicitly.
+    // All three paths are bit-identical; output must not change.
+    // `--reference-fabric` is kept as a shorthand for
+    // `--fabric-path reference`.
+    let path = if flags.contains_key("reference-fabric") {
+        netsim::StepPath::Reference
+    } else {
+        match flags.get("fabric-path") {
+            Some(name) => fabric_path_by_name(name)?,
+            None => netsim::StepPath::Event,
+        }
+    };
     println!(
         "running {} x{reps} on {nodes}x {} {} (fresh VMs per run){}",
         job.name,
         cloud.provider.name(),
         cloud.instance_type,
-        if reference { " [reference fabric path]" } else { "" }
+        match path {
+            netsim::StepPath::Event => "",
+            netsim::StepPath::Fast => " [fast fabric path]",
+            netsim::StepPath::Reference => " [reference fabric path]",
+        }
     );
     let samples: Vec<f64> = (0..reps)
         .map(|rep| {
             let s = netsim::rng::derive_seed(seed, rep as u64);
             let mut cluster = bigdata::Cluster::from_profile(&cloud, nodes, 16, s);
-            cluster.fabric_mut().force_reference_path(reference);
+            cluster.fabric_mut().force_path(path);
             bigdata::run_job(&mut cluster, &job, s).duration_s
         })
         .collect();
@@ -273,7 +287,7 @@ fn usage() {
     println!("  fleet --cloud C [--pairs N] [--pattern P] [--hours H] [--seed S]");
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
-    println!("  run --cloud C --workload W [--reps N] [--nodes N] [--reference-fabric]");
+    println!("  run --cloud C --workload W [--reps N] [--nodes N] [--fabric-path event|fast|reference]");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
     println!("  detlint [--root DIR] [--json]      lint against the determinism contract");

@@ -5,7 +5,7 @@
 
 use repro_core::bigdata::{self, workloads};
 use repro_core::clouds;
-use repro_core::netsim::TrafficPattern;
+use repro_core::netsim::{StepPath, TrafficPattern};
 use std::collections::BTreeMap;
 
 /// Parse `--key value` / `--flag` pairs into a map.
@@ -88,6 +88,23 @@ pub fn pattern_by_name(name: &str) -> Result<TrafficPattern, String> {
         other => {
             return Err(format!(
                 "unknown pattern {other:?} (full-speed, 10-30, 5-30)"
+            ))
+        }
+    })
+}
+
+/// Resolve a fabric stepping-engine name (the `--fabric-path` flag):
+/// `event` (default engine), `fast` (the per-step cached path), or
+/// `reference` (the original unbatched loops). All three are
+/// bit-identical; the choice trades wall-clock time only.
+pub fn fabric_path_by_name(name: &str) -> Result<StepPath, String> {
+    Ok(match name {
+        "event" => StepPath::Event,
+        "fast" => StepPath::Fast,
+        "reference" | "ref" => StepPath::Reference,
+        other => {
+            return Err(format!(
+                "unknown fabric path {other:?} (event, fast, reference)"
             ))
         }
     })
@@ -209,6 +226,18 @@ mod tests {
             let f = parse_flags(&args(&["--jobs", bad])).unwrap();
             assert!(get_jobs(&f).is_err(), "--jobs {bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn resolves_fabric_paths() {
+        assert_eq!(fabric_path_by_name("event").unwrap(), StepPath::Event);
+        assert_eq!(fabric_path_by_name("fast").unwrap(), StepPath::Fast);
+        assert_eq!(fabric_path_by_name("ref").unwrap(), StepPath::Reference);
+        assert_eq!(
+            fabric_path_by_name("reference").unwrap(),
+            StepPath::Reference
+        );
+        assert!(fabric_path_by_name("turbo").is_err());
     }
 
     #[test]
