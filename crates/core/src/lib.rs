@@ -56,4 +56,4 @@ pub mod report;
 pub use guidelines::{audit, ExperimentDesign, Finding, Violation};
 pub use planning::{recommend_repetitions, Recommendation};
 pub use protocol::{run_protocol, ProtocolConfig, ProtocolOutcome, ProtocolResult};
-pub use report::{MeasurementReport, MIN_PUBLISHABLE_COVERAGE};
+pub use report::{ExhaustionNote, MeasurementReport, MIN_PUBLISHABLE_COVERAGE};

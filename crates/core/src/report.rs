@@ -27,6 +27,33 @@ pub struct MeasurementReport {
     /// statistics over a gap-riddled sample describe the *surviving*
     /// conditions, not the campaign that was designed.
     pub coverage: f64,
+    /// Supervision accounting from a budgeted campaign, when one
+    /// produced this report. Exhaustion means the sample is not merely
+    /// degraded but *capped*: the harness wanted to repair more shards
+    /// than its budgets allowed, so the losses are censored at the
+    /// budget, not at the fault process.
+    pub exhaustion: Option<ExhaustionNote>,
+}
+
+/// How much of its repair budget a supervised campaign consumed, and
+/// whether it ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustionNote {
+    /// Retries the campaign consumed.
+    pub retries_used: u32,
+    /// The campaign-wide retry cap.
+    pub retry_budget: u32,
+    /// A shard wanted another attempt and was refused one.
+    pub retry_exhausted: bool,
+    /// Shards whose step budget could not afford even one attempt.
+    pub budget_denied_shards: usize,
+}
+
+impl ExhaustionNote {
+    /// Whether any budget actually bit.
+    pub fn any(&self) -> bool {
+        self.retry_exhausted || self.budget_denied_shards > 0
+    }
 }
 
 /// Coverage below which a result is not publishable no matter how tight
@@ -50,6 +77,7 @@ impl MeasurementReport {
             assumptions: (samples.len() >= 20 && distinct)
                 .then(|| AssumptionReport::run(samples)),
             coverage: 1.0,
+            exhaustion: None,
         }
     }
 
@@ -64,9 +92,17 @@ impl MeasurementReport {
         self
     }
 
-    /// Whether any intended data is missing.
+    /// Annotate the report with the supervision accounting of the
+    /// campaign that produced it.
+    pub fn with_exhaustion(mut self, note: ExhaustionNote) -> Self {
+        self.exhaustion = Some(note);
+        self
+    }
+
+    /// Whether any intended data is missing, or a repair budget ran out
+    /// (so the sample is censored at the budget).
     pub fn is_degraded(&self) -> bool {
-        self.coverage < 1.0
+        self.coverage < 1.0 || self.exhaustion.map(|x| x.any()).unwrap_or(false)
     }
 
     /// Is this result publishable by the paper's bar: a median CI
@@ -117,11 +153,31 @@ impl MeasurementReport {
             )),
             None => out.push_str("  p90    95% CI: not computable at this n\n"),
         }
-        if self.is_degraded() {
+        if self.coverage < 1.0 {
             out.push_str(&format!(
                 "  DEGRADED: only {:.1}% of intended samples collected \
                  (faults/gaps); treat tails with caution\n",
                 self.coverage * 100.0
+            ));
+        }
+        if let Some(x) = self.exhaustion {
+            out.push_str(&format!(
+                "  supervision: {}/{} retries used{}{}\n",
+                x.retries_used,
+                x.retry_budget,
+                if x.retry_exhausted {
+                    " (EXHAUSTED: repairs were refused)"
+                } else {
+                    ""
+                },
+                if x.budget_denied_shards > 0 {
+                    format!(
+                        "; {} shard(s) denied by step budget",
+                        x.budget_denied_shards
+                    )
+                } else {
+                    String::new()
+                }
             ));
         }
         if let Some(a) = self.assumptions {
@@ -208,6 +264,35 @@ mod tests {
         assert!(mild.is_degraded());
         assert!(mild.publishable(0.05));
         assert!(mild.render().contains("DEGRADED"));
+    }
+
+    #[test]
+    fn exhaustion_marks_degraded_and_shows_in_render() {
+        let healthy = ExhaustionNote {
+            retries_used: 2,
+            retry_budget: 8,
+            retry_exhausted: false,
+            budget_denied_shards: 0,
+        };
+        let r = MeasurementReport::new("bench", &noisy(60, 12)).with_exhaustion(healthy);
+        assert!(!r.is_degraded(), "unexhausted budgets are not degradation");
+        assert!(r.render().contains("supervision: 2/8 retries used"));
+        assert!(!r.render().contains("EXHAUSTED"));
+
+        let drained = ExhaustionNote {
+            retries_used: 8,
+            retry_budget: 8,
+            retry_exhausted: true,
+            budget_denied_shards: 3,
+        };
+        let r = MeasurementReport::new("bench", &noisy(60, 12)).with_exhaustion(drained);
+        assert!(r.is_degraded(), "refused repairs cap the sample");
+        let text = r.render();
+        assert!(text.contains("supervision: 8/8 retries used"));
+        assert!(text.contains("EXHAUSTED"));
+        assert!(text.contains("3 shard(s) denied by step budget"));
+        // Full coverage plus exhaustion must not print the coverage line.
+        assert!(!text.contains("DEGRADED:"));
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub enum RuleId {
     D6,
     /// Non-workspace dependency in a manifest.
     D7,
+    /// Crash-unsafe persistence outside the journal crate.
+    D8,
     /// Suppression pragma without a `-- reason` (or unknown rule id).
     P0,
 }
@@ -64,6 +66,7 @@ impl RuleId {
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
             RuleId::P0 => "P0",
         }
     }
@@ -78,6 +81,7 @@ impl RuleId {
             "D5" => Some(RuleId::D5),
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
+            "D8" => Some(RuleId::D8),
             "P0" => Some(RuleId::P0),
             _ => None,
         }
@@ -104,13 +108,14 @@ impl RuleId {
             RuleId::D5 => "panicking call in library code: return a typed error (MeasureError et al.) per the graceful-degradation policy",
             RuleId::D6 => "NaN-unsafe float comparison: total_cmp is mandated for ordering floats",
             RuleId::D7 => "non-workspace dependency: the build must succeed offline with the registry unreachable",
+            RuleId::D8 => "crash-unsafe persistence outside crates/journal: direct writes tear on SIGKILL; persist through the write-ahead journal (tmp + atomic rename)",
             RuleId::P0 => "suppression pragma must name known rules and carry a `-- reason`",
         }
     }
 }
 
 /// Every rule id, in report order.
-pub const ALL_RULES: [RuleId; 8] = [
+pub const ALL_RULES: [RuleId; 9] = [
     RuleId::D1,
     RuleId::D2,
     RuleId::D3,
@@ -118,6 +123,7 @@ pub const ALL_RULES: [RuleId; 8] = [
     RuleId::D5,
     RuleId::D6,
     RuleId::D7,
+    RuleId::D8,
     RuleId::P0,
 ];
 
@@ -225,9 +231,9 @@ pub struct TokenRule {
     pub exempt_prefixes: &'static [&'static str],
 }
 
-/// The token rules (D1–D6). D7 runs over manifests (see
+/// The token rules (D1–D6, D8). D7 runs over manifests (see
 /// [`crate::manifest`]); P0 is emitted by the engine's pragma pass.
-pub const TOKEN_RULES: [TokenRule; 6] = [
+pub const TOKEN_RULES: [TokenRule; 7] = [
     TokenRule {
         id: RuleId::D1,
         patterns: &[Pattern::Ident("HashMap"), Pattern::Ident("HashSet")],
@@ -289,6 +295,18 @@ pub const TOKEN_RULES: [TokenRule; 6] = [
         id: RuleId::D6,
         patterns: &[Pattern::Method("partial_cmp")],
         exempt_prefixes: &[],
+    },
+    TokenRule {
+        id: RuleId::D8,
+        patterns: &[
+            Pattern::Path("fs::write"),
+            Pattern::Path("File::create"),
+            Pattern::Ident("OpenOptions"),
+        ],
+        // The journal crate is the workspace's one persistence layer:
+        // it writes to a temp file and atomically renames, so a SIGKILL
+        // can never tear a record in place.
+        exempt_prefixes: &["crates/journal/"],
     },
 ];
 

@@ -9,6 +9,7 @@ pub fn violations() {
     let mut rng = thread_rng();
     let value = maybe().unwrap();
     let order = a.partial_cmp(&b);
+    let file = File::create("out.bin");
 }
 
 pub fn reasonless() {

@@ -18,6 +18,9 @@ pub fn boundary_lookalikes() {
     let _ = HashMapLike;
     let fallback = maybe().unwrap_or(0);
     let _ = fallback;
+    let atomic = File::create_new("x");
+    let nested = my_fs::write(&atomic);
+    let _ = nested;
 }
 
 #[cfg(test)]

@@ -12,13 +12,14 @@ use detlint::{lint_manifest_source, lint_rust_source, render_json_lines, RuleId,
 use proplite::prelude::*;
 
 /// One seeded violation per token rule: `(rule, violating statement)`.
-const NEEDLES: [(RuleId, &str); 6] = [
+const NEEDLES: [(RuleId, &str); 7] = [
     (RuleId::D1, "let m: HashMap<u8, u8> = make_map();"),
     (RuleId::D2, "let t0 = Instant::now();"),
     (RuleId::D3, "let h = thread::spawn(run_worker);"),
     (RuleId::D4, "let mut rng = thread_rng();"),
     (RuleId::D5, "let v = maybe().unwrap();"),
     (RuleId::D6, "let o = a.partial_cmp(&b);"),
+    (RuleId::D8, "let f = File::create(path);"),
 ];
 
 /// A library-crate path no rule exempts.
@@ -48,7 +49,7 @@ prop_cases! {
 
     #[test]
     fn each_rule_fires_on_a_seeded_violation(
-        which in 0usize..6,
+        which in 0usize..7,
         pos in 0usize..24,
         n in 1usize..24,
     ) {
@@ -65,7 +66,7 @@ prop_cases! {
 
     #[test]
     fn reasoned_pragma_suppresses_exactly_its_rule(
-        which in 0usize..6,
+        which in 0usize..7,
         pos in 0usize..24,
         n in 1usize..24,
         trailing in bools(),
@@ -85,8 +86,8 @@ prop_cases! {
 
     #[test]
     fn pragma_for_one_rule_does_not_cover_another(
-        which in 0usize..6,
-        other in 0usize..6,
+        which in 0usize..7,
+        other in 0usize..7,
     ) {
         prop_assume!(which != other);
         let (rule, needle) = NEEDLES[which];
@@ -99,7 +100,7 @@ prop_cases! {
 
     #[test]
     fn tokens_in_strings_and_comments_are_not_findings(
-        which in 0usize..6,
+        which in 0usize..7,
         n in 1usize..16,
     ) {
         let (_, needle) = NEEDLES[which];
@@ -112,7 +113,7 @@ prop_cases! {
     }
 
     #[test]
-    fn cfg_test_regions_are_exempt(which in 0usize..6) {
+    fn cfg_test_regions_are_exempt(which in 0usize..7) {
         let (_, needle) = NEEDLES[which];
         let src = format!(
             "pub fn shipped() -> u32 {{ 1 }}\n\
@@ -124,11 +125,14 @@ prop_cases! {
     }
 
     #[test]
-    fn exempt_paths_silence_their_rules(which in 1usize..3) {
-        // D2 is allowed in crates/bench, D3 in crates/exec.
+    fn exempt_paths_silence_their_rules(pick in 0usize..3) {
+        // D2 is allowed in crates/bench, D3 in crates/exec, D8 in
+        // crates/journal (the one blessed persistence layer).
+        let which = [1, 2, 6][pick];
         let (rule, needle) = NEEDLES[which];
         let path = match rule {
             RuleId::D2 => "crates/bench/src/lib.rs",
+            RuleId::D8 => "crates/journal/src/lib.rs",
             _ => "crates/exec/src/steal.rs",
         };
         let findings = lint_rust_source(path, needle);
@@ -139,7 +143,7 @@ prop_cases! {
 
     #[test]
     fn reasonless_pragma_fires_p0_and_keeps_the_gate_red(
-        which in 0usize..6,
+        which in 0usize..7,
     ) {
         let (rule, needle) = NEEDLES[which];
         let src = format!("{}\n{}", pragma(rule.as_str(), None), needle);
@@ -186,7 +190,7 @@ prop_cases! {
 
     #[test]
     fn lint_and_json_are_deterministic(
-        which in 0usize..6,
+        which in 0usize..7,
         pos in 0usize..24,
         n in 1usize..24,
     ) {

@@ -1,0 +1,184 @@
+//! Deterministic execution budgets for supervised task running.
+//!
+//! Long campaigns need two guard rails that wall-clock deadlines cannot
+//! provide without breaking the determinism contract (and detlint's D2
+//! wall-clock rule): a **per-task step budget** — a deadline measured in
+//! simulated fluid steps, so the same task under the same seed always
+//! hits (or never hits) its deadline on every machine — and a
+//! **campaign-wide retry accountant** that caps how much recomputation a
+//! degraded campaign may buy before it must settle for partial results.
+//!
+//! Both are pure counters: no clocks, no threads, no shared state. A
+//! supervisor charges a task's worth of steps *before* running the task
+//! (the step count of a simulation is a pure function of its config, so
+//! the charge is knowable up front), and asks the accountant for each
+//! retry *in stable task order*, which keeps grant decisions — and
+//! therefore results — independent of worker count.
+
+/// A per-task deadline measured in simulated steps.
+///
+/// `try_charge` either reserves the whole attempt or refuses it — there
+/// are no partial grants, so a refused attempt has consumed nothing and
+/// the refusal itself is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepBudget {
+    limit: u64,
+    spent: u64,
+}
+
+impl StepBudget {
+    /// A budget of `limit` simulated steps.
+    pub fn new(limit: u64) -> StepBudget {
+        StepBudget { limit, spent: 0 }
+    }
+
+    /// Reserve `steps` for an attempt. Returns `false` — charging
+    /// nothing — when the attempt does not fit in what remains.
+    pub fn try_charge(&mut self, steps: u64) -> bool {
+        match self.remaining() >= steps {
+            true => {
+                self.spent += steps;
+                true
+            }
+            false => false,
+        }
+    }
+
+    /// Steps charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Steps still available.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.spent
+    }
+
+    /// The budget's limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// A campaign-wide cap on retries.
+///
+/// Each retry of any task consumes one grant; once the budget is spent,
+/// further requests are refused and the accountant remembers that it
+/// refused ([`exhausted`](RetryAccountant::exhausted)), so the final
+/// report can say that the campaign *wanted* more repair than it was
+/// allowed. Grant order must be a pure function of task indices (ask in
+/// stable order, never from racing workers) to keep results
+/// worker-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAccountant {
+    budget: u32,
+    used: u32,
+    refused: bool,
+}
+
+impl RetryAccountant {
+    /// An accountant allowing `budget` retries in total.
+    pub fn new(budget: u32) -> RetryAccountant {
+        RetryAccountant { budget, used: 0, refused: false }
+    }
+
+    /// Request one retry grant. `false` means the budget is spent; the
+    /// refusal is recorded.
+    pub fn try_grant(&mut self) -> bool {
+        match self.used < self.budget {
+            true => {
+                self.used += 1;
+                true
+            }
+            false => {
+                self.refused = true;
+                false
+            }
+        }
+    }
+
+    /// Replay `n` grants consumed by a previous (resumed) run. Grants
+    /// beyond the budget mark the accountant refused rather than
+    /// panicking — a journal written under a larger budget must degrade,
+    /// not crash.
+    pub fn replay(&mut self, n: u32) {
+        let granted = n.min(self.budget - self.used);
+        self.used += granted;
+        if granted < n {
+            self.refused = true;
+        }
+    }
+
+    /// Retries granted so far.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+
+    /// The total retry budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Retries still grantable.
+    pub fn remaining(&self) -> u32 {
+        self.budget - self.used
+    }
+
+    /// Whether any request has ever been refused — the campaign wanted
+    /// more retries than the budget allowed.
+    pub fn exhausted(&self) -> bool {
+        self.refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_budget_charges_whole_attempts_or_nothing() {
+        let mut b = StepBudget::new(100);
+        assert!(b.try_charge(60));
+        assert_eq!((b.spent(), b.remaining()), (60, 40));
+        // Refusal charges nothing.
+        assert!(!b.try_charge(41));
+        assert_eq!((b.spent(), b.remaining()), (60, 40));
+        assert!(b.try_charge(40));
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.try_charge(1));
+        assert!(b.try_charge(0), "zero-step attempts always fit");
+        assert_eq!(b.limit(), 100);
+    }
+
+    #[test]
+    fn retry_accountant_caps_and_remembers_refusal() {
+        let mut a = RetryAccountant::new(2);
+        assert!(a.try_grant());
+        assert!(a.try_grant());
+        assert!(!a.exhausted(), "no refusal yet");
+        assert!(!a.try_grant());
+        assert!(a.exhausted());
+        assert_eq!((a.used(), a.budget(), a.remaining()), (2, 2, 0));
+    }
+
+    #[test]
+    fn replay_restores_prior_consumption() {
+        let mut a = RetryAccountant::new(5);
+        a.replay(3);
+        assert_eq!(a.used(), 3);
+        assert!(!a.exhausted());
+        assert!(a.try_grant());
+        assert!(a.try_grant());
+        assert!(!a.try_grant());
+        assert!(a.exhausted());
+    }
+
+    #[test]
+    fn replay_beyond_budget_degrades_instead_of_panicking() {
+        let mut a = RetryAccountant::new(2);
+        a.replay(7);
+        assert_eq!(a.used(), 2);
+        assert!(a.exhausted());
+        assert!(!a.try_grant());
+    }
+}

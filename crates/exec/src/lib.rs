@@ -42,10 +42,12 @@
 //! assert_eq!(serial, wide);
 //! ```
 
+mod budget;
 mod jobs;
 mod par;
 mod pool;
 
+pub use budget::{RetryAccountant, StepBudget};
 pub use jobs::{current_jobs, global_jobs, parse_jobs, resolve_jobs, set_global_jobs};
 pub use par::{
     par_map, par_map_indexed, par_map_indexed_report, par_map_with, try_par_map,

@@ -163,6 +163,36 @@ mod tests {
     }
 
     #[test]
+    fn try_par_map_multi_panic_keeps_order_and_payloads() {
+        // Several tasks panic in the same run; every slot must still
+        // describe its own task, at any worker count.
+        let items: Vec<u64> = (0..33).map(mix).collect();
+        for jobs in [1, 2, 8] {
+            let out = try_par_map(jobs, &items, |&x| {
+                if x % 3 == 0 {
+                    panic!("value {x} rejected");
+                }
+                x.wrapping_mul(3)
+            });
+            assert_eq!(out.len(), items.len(), "jobs={jobs}");
+            let mut panics = 0;
+            for (i, r) in out.iter().enumerate() {
+                let x = items[i];
+                match r {
+                    Err(p) => {
+                        panics += 1;
+                        assert_eq!(p.task, i);
+                        assert_eq!(p.payload, format!("value {x} rejected"));
+                        assert_eq!(x % 3, 0);
+                    }
+                    Ok(v) => assert_eq!(*v, x.wrapping_mul(3)),
+                }
+            }
+            assert!(panics >= 2, "fixture must exercise the multi-panic path");
+        }
+    }
+
+    #[test]
     fn par_map_reraises_lowest_indexed_panic() {
         let caught = std::panic::catch_unwind(|| {
             par_map_indexed(4, 16, |i| {

@@ -2,7 +2,7 @@
 //! (bit-identical results at any worker count) under arbitrary task
 //! counts, worker counts, workloads, and panic masks.
 
-use exec::{par_map, par_map_indexed_report, par_map_with, try_par_map_indexed};
+use exec::{par_map, par_map_indexed, par_map_indexed_report, par_map_with, try_par_map_indexed};
 use proplite::prelude::*;
 
 /// A cheap pure task body with full bit churn (SplitMix64 finalizer).
@@ -98,6 +98,68 @@ prop_cases! {
             );
             prop_assert_eq!(&got, &expected);
         }
+    }
+
+    /// With *multiple* panicking tasks (the single-panic path was the
+    /// only one exercised before), partial results keep full shape:
+    /// slot `i` always describes task `i` — an `Err` carrying the
+    /// task's own index and payload, or the task's own `Ok` value —
+    /// the pool counters count panicked tasks as run, and the
+    /// re-raising front propagates exactly the lowest-indexed payload.
+    #[test]
+    fn multi_panic_partial_results_hold_shape(
+        n in 20usize..160,
+        stride in 2usize..7,
+        offset_raw in 0usize..7,
+        jobs in 1usize..9,
+    ) {
+        let offset = offset_raw % stride;
+        let fails = move |i: usize| i % stride == offset;
+        let (out, report) = par_map_indexed_report(jobs, n, |i| {
+            if fails(i) {
+                panic!("injected {i}");
+            }
+            mix(i as u64)
+        });
+        prop_assert_eq!(out.len(), n);
+        // Counters: a contained panic is still a task that ran.
+        prop_assert_eq!(report.total_tasks(), n as u64);
+        // Result ordering: Ok/Err land in their own slots.
+        let mut n_fail = 0usize;
+        for (i, r) in out.iter().enumerate() {
+            match (fails(i), r) {
+                (true, Err(p)) => {
+                    n_fail += 1;
+                    prop_assert_eq!(p.task, i);
+                    prop_assert_eq!(&p.payload, &format!("injected {i}"));
+                }
+                (false, Ok(v)) => prop_assert_eq!(*v, mix(i as u64)),
+                (want_fail, got) => {
+                    return Err(CaseError::Fail(format!(
+                        "slot {i}: want fail={want_fail}, got {got:?}"
+                    )));
+                }
+            }
+        }
+        // n >= 20 and stride < 7 guarantee a genuine multi-panic case.
+        prop_assert!(n_fail >= 2, "only {n_fail} panics injected");
+        // Lowest-index selection: the re-raising front propagates the
+        // first failing task's payload, not the first to finish.
+        let first = offset; // smallest i with i % stride == offset
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_indexed(jobs, n, |i| {
+                if fails(i) {
+                    panic!("injected {i}");
+                }
+                i
+            })
+        }));
+        let payload = match caught {
+            Err(p) => p,
+            Ok(_) => return Err(CaseError::Fail("must re-raise".into())),
+        };
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        prop_assert_eq!(msg, format!("injected {first}"));
     }
 
     /// The pool's accounting always adds up: every task runs exactly

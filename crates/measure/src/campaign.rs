@@ -410,14 +410,27 @@ pub fn run_fleet_jobs(
 
 /// One pair's slice of a fleet campaign — a pure function of the
 /// derived pair seed, safe to run on any worker in any order.
-fn simulate_pair(
+pub(crate) fn simulate_pair(
     profile: &CloudProfile,
     pattern: TrafficPattern,
     duration_s: f64,
     seed: u64,
     i: usize,
 ) -> PairSim {
-    let pair_seed = derive_seed(seed, i as u64);
+    simulate_pair_seeded(profile, pattern, duration_s, derive_seed(seed, i as u64), i)
+}
+
+/// [`simulate_pair`] with the derived pair seed supplied directly —
+/// the form the journaled driver uses, because a retried shard runs
+/// under a re-derived seed and resume-verification must be able to
+/// replay exactly the attempt that was accepted.
+pub(crate) fn simulate_pair_seeded(
+    profile: &CloudProfile,
+    pattern: TrafficPattern,
+    duration_s: f64,
+    pair_seed: u64,
+    i: usize,
+) -> PairSim {
     let death_rate_per_s = profile.faults.pair_death_rate_per_hour / 3600.0;
     // A pair's death time comes from its own derived stream so the
     // surviving pairs' traces are unchanged by the death of others.
@@ -458,7 +471,8 @@ fn simulate_pair(
 }
 
 /// Outcome of one pair's simulation task.
-enum PairSim {
+#[derive(Debug, Clone)]
+pub(crate) enum PairSim {
     /// Survived the whole campaign.
     Alive(CampaignResult),
     /// Died mid-campaign with partial data.
@@ -473,7 +487,7 @@ enum PairSim {
 /// reproducing the serial loop's observable behaviour exactly: a fatal
 /// error at pair `i` wins over anything at pairs `> i`, and a panicked
 /// pair degrades the fleet instead of crashing it.
-fn assemble_fleet(
+pub(crate) fn assemble_fleet(
     outcomes: Vec<Result<PairSim, exec::TaskPanic>>,
     n_pairs: usize,
 ) -> Result<FleetResult, MeasureError> {

@@ -34,6 +34,45 @@ pub enum MeasureError {
         /// Stringified panic payload.
         payload: String,
     },
+    /// A shard's simulated-step budget could not afford another
+    /// attempt. A supervised campaign degrades the shard and records it
+    /// in the exhaustion note; this error is only *returned* when no
+    /// shard could afford even its first attempt.
+    BudgetExhausted {
+        /// Shard (fleet pair) whose attempt was refused.
+        shard: usize,
+        /// Steps the refused attempt needed.
+        needed_steps: u64,
+        /// Steps the shard's budget had left.
+        remaining_steps: u64,
+    },
+    /// The journal was written under a different campaign configuration
+    /// (profile, pattern, duration, seed, or supervision policy);
+    /// resuming would silently mix incompatible results, so the resume
+    /// fails loudly instead.
+    ResumeConfigMismatch {
+        /// Fingerprint of the configuration being resumed.
+        expected: u64,
+        /// Fingerprint stored in the journal header.
+        found: u64,
+    },
+    /// A re-verified journaled shard no longer reproduces bit-for-bit:
+    /// either the journal is corrupt past what its checksums can see,
+    /// or the code that produced it has changed behaviour. Resuming
+    /// would publish results the current code cannot reproduce.
+    ResumeDivergence {
+        /// The diverging shard.
+        shard: u64,
+        /// Result fingerprint stored in the journal.
+        journaled_fp: u64,
+        /// Fingerprint of the freshly recomputed result.
+        recomputed_fp: u64,
+    },
+    /// The journal itself could not be created, opened, or appended.
+    JournalFailed {
+        /// Human-readable cause (the underlying `journal` error).
+        detail: String,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -50,6 +89,27 @@ impl fmt::Display for MeasureError {
             }
             MeasureError::TaskPanicked { task, payload } => {
                 write!(f, "worker task {task} panicked (contained): {payload}")
+            }
+            MeasureError::BudgetExhausted { shard, needed_steps, remaining_steps } => {
+                write!(
+                    f,
+                    "shard {shard}: step budget exhausted (attempt needs {needed_steps} steps, {remaining_steps} left)"
+                )
+            }
+            MeasureError::ResumeConfigMismatch { expected, found } => {
+                write!(
+                    f,
+                    "journal belongs to a different campaign config: expected {expected:#018x}, journal has {found:#018x}"
+                )
+            }
+            MeasureError::ResumeDivergence { shard, journaled_fp, recomputed_fp } => {
+                write!(
+                    f,
+                    "resume verification failed: shard {shard} recomputes to {recomputed_fp:#018x} but the journal holds {journaled_fp:#018x}"
+                )
+            }
+            MeasureError::JournalFailed { detail } => {
+                write!(f, "journal operation failed: {detail}")
             }
         }
     }
@@ -73,6 +133,15 @@ mod tests {
         let p = MeasureError::TaskPanicked { task: 3, payload: "index oob".into() };
         assert!(p.to_string().contains("task 3"));
         assert!(p.to_string().contains("index oob"));
+        let b = MeasureError::BudgetExhausted { shard: 2, needed_steps: 600, remaining_steps: 12 };
+        assert!(b.to_string().contains("shard 2"));
+        assert!(b.to_string().contains("600"));
+        let m = MeasureError::ResumeConfigMismatch { expected: 1, found: 2 };
+        assert!(m.to_string().contains("different campaign config"));
+        let d = MeasureError::ResumeDivergence { shard: 4, journaled_fp: 9, recomputed_fp: 10 };
+        assert!(d.to_string().contains("shard 4"));
+        let j = MeasureError::JournalFailed { detail: "disk full".into() };
+        assert!(j.to_string().contains("disk full"));
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   campaigns lose probes and VMs, and the harness degrades gracefully
 //!   (gap-annotated traces, partial fleet results, probe retry with
 //!   exponential backoff) instead of panicking.
+//! * [`resume`] — crash-safe campaigns: every settled shard is written
+//!   to a [`journal`] write-ahead log, a SIGKILLed campaign resumes
+//!   from it (with bit-for-bit re-verification of a journaled sample),
+//!   and supervised execution bounds each shard by a simulated-step
+//!   budget and the campaign by a retry budget.
 
 pub mod campaign;
 pub mod error;
@@ -32,6 +37,8 @@ pub mod latency;
 pub mod pcap;
 pub mod probe;
 pub mod rest;
+pub mod resume;
+mod wire;
 
 pub use campaign::{
     run_all_patterns, run_all_patterns_jobs, run_campaign, run_fleet, run_fleet_jobs,
@@ -45,3 +52,7 @@ pub use probe::{
     RetryPolicy,
 };
 pub use rest::RestPlanner;
+pub use resume::{
+    run_fleet_journaled, run_fleet_journaled_with, FleetSpec, JournaledFleet, ResumeStats,
+    SupervisePolicy, SupervisionStats,
+};

@@ -94,6 +94,11 @@ pub struct RetryPolicy {
     pub base_backoff_s: f64,
     /// Backoff multiplier per retry (2.0 = classic doubling).
     pub multiplier: f64,
+    /// Ceiling on any single wait, seconds. Uncapped doubling makes the
+    /// tail of a retry storm wait longer than the probe itself (attempt
+    /// 6 under the old default already waited 960 s); real measurement
+    /// harnesses cap the wait and keep polling.
+    pub max_backoff_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -102,7 +107,18 @@ impl Default for RetryPolicy {
             max_attempts: 5,
             base_backoff_s: 30.0,
             multiplier: 2.0,
+            max_backoff_s: 240.0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait after failed attempt `attempt` (1-based), seconds:
+    /// `base × multiplier^(attempt-1)`, capped at `max_backoff_s`.
+    /// Pure, so schedules can be audited without running a probe.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        let uncapped = self.base_backoff_s * self.multiplier.powi(attempt as i32 - 1);
+        uncapped.min(self.max_backoff_s)
     }
 }
 
@@ -139,7 +155,6 @@ pub fn probe_with_retry(
 ) -> Result<ProbeOutcome, MeasureError> {
     assert!(policy.max_attempts >= 1, "need at least one attempt");
     let mut backoff_spent_s = 0.0;
-    let mut next_backoff_s = policy.base_backoff_s;
     for attempt in 1..=policy.max_attempts {
         let attempt_seed = derive_seed(seed, attempt as u64 - 1);
         let ruined = if profile.faults.is_off() {
@@ -164,8 +179,7 @@ pub fn probe_with_retry(
             });
         }
         if attempt < policy.max_attempts {
-            backoff_spent_s += next_backoff_s;
-            next_backoff_s *= policy.multiplier;
+            backoff_spent_s += policy.backoff_s(attempt);
         }
     }
     Err(MeasureError::ProbeFailed {
@@ -292,6 +306,66 @@ mod tests {
         }
         assert!(clean >= 25, "only {clean}/30 probes succeeded");
         assert!(retried >= 5, "only {retried} probes needed retries");
+    }
+
+    #[test]
+    fn backoff_schedule_is_golden_and_capped() {
+        // The exact default schedule, pinned: doubling from 30 s until
+        // the 240 s cap, then flat. Uncapped doubling used to reach
+        // 960 s by attempt 6 — longer than many probes.
+        let p = RetryPolicy::default();
+        let golden = [30.0, 60.0, 120.0, 240.0, 240.0, 240.0, 240.0, 240.0];
+        for (i, want) in golden.iter().enumerate() {
+            assert_eq!(p.backoff_s(i as u32 + 1), *want, "attempt {}", i + 1);
+        }
+        // A probe that exhausts 8 attempts waits sum(schedule[..7]),
+        // not the 3810 s the uncapped series would have cost.
+        assert_eq!(golden[..7].iter().sum::<f64>(), 1170.0);
+        // The cap also clamps a pathological base.
+        let wild = RetryPolicy {
+            base_backoff_s: 1e6,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(wild.backoff_s(1), 240.0);
+    }
+
+    #[test]
+    fn deep_retries_pin_seed_stream_and_capped_backoff() {
+        // Past 3 retries (previously uncovered): find seeds whose
+        // clean attempt lands at every depth up to 6, and pin (a) the
+        // RNG stream position — attempt k probes under
+        // derive_seed(seed, k-1), regardless of how many earlier
+        // attempts were ruined — and (b) the capped backoff total.
+        let mut p = clouds::ec2::c5_xlarge().with_reference_faults();
+        p.faults.stall_rate_per_hour = 4.0; // most attempts ruined
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::default()
+        };
+        let mut deepest = 0;
+        for seed in 0..200 {
+            let Ok(out) = probe_with_retry(&p, seed, 2000.0, policy) else {
+                continue;
+            };
+            deepest = deepest.max(out.attempts);
+            // (a) the stream position pin
+            let direct = probe_token_bucket(
+                &p,
+                netsim::rng::derive_seed(seed, out.attempts as u64 - 1),
+                2000.0,
+            );
+            assert_eq!(out.estimate, direct, "seed {seed}");
+            // (b) the backoff pin: sum of the capped schedule
+            let want: f64 = (1..out.attempts).map(|a| policy.backoff_s(a)).sum();
+            assert_eq!(out.backoff_spent_s, want, "seed {seed}");
+            if out.attempts >= 6 {
+                // Waits were 30+60+120+240+240 = 690 s by attempt 6 —
+                // the cap engaged (uncapped would be 930 s).
+                assert!(out.backoff_spent_s >= 690.0);
+                assert!(out.backoff_spent_s <= 690.0 + 2.0 * 240.0);
+            }
+        }
+        assert!(deepest >= 6, "deepest clean attempt was {deepest}; need >3 retries covered");
     }
 
     #[test]

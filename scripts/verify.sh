@@ -158,4 +158,78 @@ cargo test -q --release --offline -p netsim --test prop_event_driven
 cargo test -q --release --offline -p netsim --test alloc_free
 echo "OK: event, fast, and reference engines are bit-identical; jumps are allocation-free"
 
+echo "== campaign kill/resume: crash at a pinned shard, resume, byte-identical report =="
+# The crash-safety contract (DESIGN.md §11): a fleet campaign killed
+# mid-run and resumed from its journal must produce a final report
+# byte-identical to an uninterrupted run. Gates:
+#   1. `--kill-after 3` makes the process abort() the instant the 3rd
+#      shard is journaled — as sudden as a SIGKILL: no unwinding, no
+#      flushing — and the run must NOT exit cleanly.
+#   2. The killed journal must be a byte-prefix of the uninterrupted
+#      run's journal (the WAL is append-only and deterministic), and
+#      two kills at the same pinned count must leave identical files.
+#   3. Resuming (with 2 shards re-verified bit-for-bit against the
+#      log) must reproduce the uninterrupted stdout report and final
+#      journal byte-for-byte — on 1 worker and on 4 (the resumed run
+#      itself must be jobs-invariant).
+#   4. Resuming under a different seed must fail loudly with the typed
+#      config-fingerprint mismatch, not blend incompatible results.
+wal=$(mktemp -d)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a" "$fast_a"; rm -rf "$wal"' EXIT
+fleet="cargo run -q --release --offline --bin cloud-repro -- fleet \
+  --cloud hpc-8 --pairs 6 --hours 2 --seed 7"
+$fleet --journal "$wal/full.wal"  > "$wal/full.out"  2>/dev/null
+for k in 1 2; do
+  # The inner bash keeps the "Aborted (core dumped)" job notice out of
+  # the gate log; the run must die (exit != 0).
+  if bash -c "$fleet --journal '$wal/kill$k.wal' --kill-after 3" > /dev/null 2>&1; then
+    echo "FAIL: --kill-after 3 run exited cleanly instead of dying" >&2
+    exit 1
+  fi
+done
+if ! cmp -s "$wal/kill1.wal" "$wal/kill2.wal"; then
+  echo "FAIL: two kills at the same shard count left different journals" >&2
+  exit 1
+fi
+if [ "$(wc -c < "$wal/kill1.wal")" -ge "$(wc -c < "$wal/full.wal")" ]; then
+  echo "FAIL: killed journal is not smaller than the complete one" >&2
+  exit 1
+fi
+if ! head -c "$(wc -c < "$wal/kill1.wal")" "$wal/full.wal" | cmp -s - "$wal/kill1.wal"; then
+  echo "FAIL: killed journal is not a byte-prefix of the uninterrupted one" >&2
+  exit 1
+fi
+REPRO_JOBS=1 $fleet --journal "$wal/kill1.wal" --resume --verify-resume 2 \
+  > "$wal/resume1.out" 2>/dev/null
+REPRO_JOBS=4 $fleet --journal "$wal/kill2.wal" --resume --verify-resume 2 \
+  > "$wal/resume4.out" 2>/dev/null
+if ! diff -u "$wal/full.out" "$wal/resume1.out" > /dev/null; then
+  echo "FAIL: resumed report differs from the uninterrupted run's:" >&2
+  diff -u "$wal/full.out" "$wal/resume1.out" >&2 | head -40
+  exit 1
+fi
+if ! diff -u "$wal/resume1.out" "$wal/resume4.out" > /dev/null; then
+  echo "FAIL: resumed report differs between 1 and 4 workers:" >&2
+  diff -u "$wal/resume1.out" "$wal/resume4.out" >&2 | head -40
+  exit 1
+fi
+if ! cmp -s "$wal/full.wal" "$wal/kill1.wal" || ! cmp -s "$wal/full.wal" "$wal/kill2.wal"; then
+  echo "FAIL: healed journals differ from the uninterrupted one" >&2
+  exit 1
+fi
+if fleet_mismatch_out=$( { cargo run -q --release --offline --bin cloud-repro -- fleet \
+  --cloud hpc-8 --pairs 6 --hours 2 --seed 8 \
+  --journal "$wal/full.wal" --resume; } 2>&1 ); then
+  echo "FAIL: resume under a different seed exited cleanly" >&2
+  exit 1
+fi
+if ! printf '%s' "$fleet_mismatch_out" | grep -q "different campaign config"; then
+  echo "FAIL: config mismatch did not surface the typed error:" >&2
+  printf '%s\n' "$fleet_mismatch_out" >&2
+  exit 1
+fi
+cargo test -q --release --offline -p journal --test prop_journal
+cargo test -q --release --offline -p measure --test journaled_fleet
+echo "OK: killed campaign resumes to a byte-identical report; bad resumes fail loudly"
+
 echo "== verify.sh: all gates passed =="

@@ -130,6 +130,9 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let n_pairs = get_u64(flags, "pairs", 6)? as usize;
     let seed = get_u64(flags, "seed", 1)?;
     let jobs = exec::current_jobs();
+    if let Some(jpath) = flags.get("journal") {
+        return cmd_fleet_journaled(flags, cloud, pattern, h, n_pairs, seed, jobs, jpath);
+    }
     println!(
         "fleet: {n_pairs} pairs of {} {} / {} for {h} h (seed {seed}, {jobs} worker{})",
         cloud.provider.name(),
@@ -159,6 +162,122 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
         fleet.mean_within_pair_cov,
         if fleet.is_degraded() { "  [DEGRADED]" } else { "" }
     );
+    Ok(())
+}
+
+/// Crash-safe fleet: every settled shard is journaled, `--resume` picks
+/// an interrupted campaign back up, and supervision budgets bound the
+/// work. The deterministic report goes to **stdout**; everything that
+/// may differ between an interrupted run and its resumption (worker
+/// count, progress, resume accounting) goes to stderr, so
+/// `verify.sh` can diff resumed against uninterrupted output
+/// byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+fn cmd_fleet_journaled(
+    flags: &BTreeMap<String, String>,
+    cloud: clouds::CloudProfile,
+    pattern: netsim::TrafficPattern,
+    h: f64,
+    n_pairs: usize,
+    seed: u64,
+    jobs: usize,
+    jpath: &str,
+) -> Result<(), String> {
+    let resume = flags.contains_key("resume");
+    let verify = get_u64(flags, "verify-resume", 2)? as usize;
+    let kill_after = get_u64(flags, "kill-after", 0)?;
+    let spec = measure::FleetSpec {
+        profile: cloud,
+        pattern,
+        duration_s: hours(h),
+        n_pairs,
+        seed,
+        supervise: measure::SupervisePolicy {
+            max_shard_attempts: get_u64(flags, "max-attempts", 3)? as u32,
+            retry_budget: get_u64(flags, "retry-budget", 8)? as u32,
+            shard_step_budget: get_u64(flags, "step-budget", 0)?,
+        },
+    };
+    eprintln!(
+        "fleet[journaled]: journal {jpath}, resume={resume}, verify-resume={verify}, \
+         {jobs} worker{}",
+        if jobs == 1 { "" } else { "s" }
+    );
+    let out = measure::run_fleet_journaled_with(
+        &spec,
+        std::path::Path::new(jpath),
+        resume,
+        verify,
+        jobs,
+        |n| {
+            eprintln!("  journaled {n}/{n_pairs} shards");
+            if kill_after > 0 && n >= kill_after {
+                // Crash-testing hook: die as abruptly as a SIGKILL
+                // would — no unwinding, no flushing, mid-campaign.
+                eprintln!("  --kill-after {kill_after}: aborting now");
+                std::process::abort();
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "resume: resumed={} skipped={} verified={} computed={} truncated={}B",
+        out.resume.resumed,
+        out.resume.skipped,
+        out.resume.verified,
+        out.resume.computed,
+        out.resume.truncated_bytes
+    );
+
+    // Everything below is a pure function of (spec, journal contents)
+    // and must be byte-identical across interruption and worker count.
+    println!(
+        "fleet campaign: {n_pairs} pairs of {} {} / {} for {h} h (seed {seed}, config {:#018x})",
+        spec.profile.provider.name(),
+        spec.profile.instance_type,
+        spec.pattern.label(),
+        out.config_fingerprint
+    );
+    let fleet = &out.fleet;
+    for (i, p) in fleet.pairs.iter().enumerate() {
+        println!(
+            "  pair {i:>2}: mean {:>6.2} Gbps  CoV {:>6.3}  coverage {:>5.1}%",
+            p.mean_bandwidth_bps() / 1e9,
+            p.summary.cov,
+            p.coverage() * 100.0
+        );
+    }
+    for f in &fleet.failed_pairs {
+        println!("  pair {:>2}: died at {:.0} s (partial data: {})", f.pair, f.death_s, f.partial_data);
+    }
+    for p in &fleet.panicked {
+        println!("  pair {:>2}: worker task panicked (contained): {}", p.task, p.payload);
+    }
+    for shard in &out.supervision.budget_denied {
+        println!("  pair {shard:>2}: denied by step budget (no attempt ran)");
+    }
+    println!(
+        "across-pair CoV {:.4} (spatial), mean within-pair CoV {:.4} (temporal){}",
+        fleet.across_pair_cov(),
+        fleet.mean_within_pair_cov,
+        if fleet.is_degraded() { "  [DEGRADED]" } else { "" }
+    );
+    if !fleet.pairs.is_empty() {
+        let means: Vec<f64> = fleet.pairs.iter().map(|p| p.mean_bandwidth_bps()).collect();
+        let (obs, exp) = fleet.pairs.iter().fold((0usize, 0usize), |(o, e), p| {
+            (o + p.gap_summary.observed_n, e + p.gap_summary.expected_n)
+        });
+        let coverage = if exp == 0 { 1.0 } else { obs as f64 / exp as f64 };
+        let report = MeasurementReport::new("pair mean bandwidth [bps]", &means)
+            .with_coverage(coverage.min(1.0))
+            .with_exhaustion(ExhaustionNote {
+                retries_used: out.supervision.retries_used,
+                retry_budget: out.supervision.retry_budget,
+                retry_exhausted: out.supervision.retry_exhausted,
+                budget_denied_shards: out.supervision.budget_denied.len(),
+            });
+        print!("{}", report.render());
+    }
     Ok(())
 }
 
@@ -285,6 +404,10 @@ fn usage() {
     println!("  list                               clouds, workloads, patterns");
     println!("  campaign --cloud C [--pattern P] [--hours H] [--seed S]");
     println!("  fleet --cloud C [--pairs N] [--pattern P] [--hours H] [--seed S]");
+    println!("        [--journal PATH] [--resume] [--verify-resume N]   crash-safe campaign:");
+    println!("        journal every settled shard, resume after a crash, re-verify N");
+    println!("        journaled shards bit-for-bit; [--max-attempts N] [--retry-budget N]");
+    println!("        [--step-budget STEPS] bound repairs; [--kill-after N] crash-test hook");
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
     println!("  run --cloud C --workload W [--reps N] [--nodes N] [--fabric-path event|fast|reference]");

@@ -37,7 +37,7 @@ pub mod prelude {
     pub use repro_core::survey;
     pub use repro_core::vstats;
     pub use repro_core::{
-        audit, recommend_repetitions, ExperimentDesign, Finding, MeasurementReport,
-        Recommendation, Violation,
+        audit, recommend_repetitions, ExhaustionNote, ExperimentDesign, Finding,
+        MeasurementReport, Recommendation, Violation,
     };
 }
