@@ -2,10 +2,11 @@
 
 use clouds::CloudProfile;
 use netsim::cpu::CpuCredits;
-use netsim::fabric::{CrossTraffic, Fabric, FlowId};
+use netsim::fabric::{CrossTraffic, Fabric, FlowId, FlowSpec};
 use netsim::faults::FaultSchedule;
 use netsim::shaper::{Shaper, TokenBucket};
 use netsim::units::{gbit, gbps};
+use topo::Wiring;
 
 /// A simulated Spark cluster.
 ///
@@ -24,6 +25,10 @@ pub struct Cluster<S> {
     cpu_credits: Option<Vec<CpuCredits>>,
     /// Optional multi-tenant cross traffic injected into every step.
     cross_traffic: Option<CrossTraffic>,
+    /// Optional datacenter wiring: node placement on a multi-tier
+    /// topology and per-link capacities. `None` and a flat wiring are
+    /// bit-identical (the flat-equivalence contract, DESIGN.md §12).
+    wiring: Option<Wiring>,
 }
 
 impl<S: Shaper> Cluster<S> {
@@ -46,6 +51,7 @@ impl<S: Shaper> Cluster<S> {
             ingress_cap_bps,
             cpu_credits: None,
             cross_traffic: None,
+            wiring: None,
         }
     }
 
@@ -54,6 +60,37 @@ impl<S: Shaper> Cluster<S> {
     pub fn with_cross_traffic(mut self, traffic: CrossTraffic) -> Self {
         self.cross_traffic = Some(traffic);
         self
+    }
+
+    /// Place the cluster on a datacenter topology: installs the
+    /// topology's per-link capacities on the fabric and routes every
+    /// subsequent shuffle flow over its ECMP paths. Must be called
+    /// before any flow starts (capacity installation requires an idle
+    /// fabric). A flat wiring installs nothing and leaves every flow
+    /// unrouted — bit-identical to a cluster that never had a wiring.
+    pub fn set_wiring(&mut self, wiring: Wiring) {
+        assert_eq!(
+            wiring.endpoints(),
+            self.nodes(),
+            "wiring must place exactly the cluster's nodes"
+        );
+        wiring.install(&mut self.fabric);
+        self.wiring = Some(wiring);
+    }
+
+    /// The attached wiring, if the cluster sits on a topology.
+    pub fn wiring(&self) -> Option<&Wiring> {
+        self.wiring.as_ref()
+    }
+
+    /// Start a flow between two workers, routed through the wiring's
+    /// topology when one is attached (ECMP-spread by the flow id the
+    /// fabric assigns), or endpoint-constrained only when not.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        match &self.wiring {
+            Some(w) => w.start_flow(&mut self.fabric, spec),
+            None => self.fabric.start_flow(spec),
+        }
     }
 
     /// Attach a fault schedule to the underlying fabric: stalled nodes

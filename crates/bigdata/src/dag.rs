@@ -253,9 +253,8 @@ pub fn run_dag<S: Shaper>(
                                 stage.shuffle_bits * weights[src] / wsum / (n - 1) as f64;
                             for dst in 0..n {
                                 if dst != src {
-                                    let id = cluster
-                                        .fabric_mut()
-                                        .start_flow(FlowSpec::new(src, dst, per_dst));
+                                    let id =
+                                        cluster.start_flow(FlowSpec::new(src, dst, per_dst));
                                     runs[idx].pending_flows.insert(id);
                                 }
                             }

@@ -289,9 +289,7 @@ fn execute<S: Shaper>(
                 let per_dst = src_bits / (n - 1) as f64;
                 for dst in 0..n {
                     if dst != src {
-                        let id = cluster
-                            .fabric_mut()
-                            .start_flow(FlowSpec::new(src, dst, per_dst));
+                        let id = cluster.start_flow(FlowSpec::new(src, dst, per_dst));
                         pending.push(id);
                     }
                 }

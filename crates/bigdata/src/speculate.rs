@@ -381,9 +381,7 @@ pub fn run_job_speculative<S: Shaper>(
                 let per_dst = src_bits / (n - 1) as f64;
                 for dst in 0..n {
                     if dst != src {
-                        let id = cluster
-                            .fabric_mut()
-                            .start_flow(FlowSpec::new(src, dst, per_dst));
+                        let id = cluster.start_flow(FlowSpec::new(src, dst, per_dst));
                         pending.insert(id);
                     }
                 }
@@ -464,14 +462,14 @@ fn transfer_race(
     for (i, b) in budgets_gbit.iter().enumerate() {
         c.fabric_mut().node_shaper_mut(i).set_budget_bits(gbit(*b));
     }
-    let primary = c.fabric_mut().start_flow(FlowSpec::new(0, 1, transfer_bits));
+    let primary = c.start_flow(FlowSpec::new(0, 1, transfer_bits));
     let mut copy: Option<FlowId> = None;
     let dt = 0.1;
     loop {
         if copy.is_none() {
             if let Some(src) = copy_src {
                 if c.fabric().now() + 1e-9 >= detect_delay_s {
-                    copy = Some(c.fabric_mut().start_flow(FlowSpec::new(src, 1, transfer_bits)));
+                    copy = Some(c.start_flow(FlowSpec::new(src, 1, transfer_bits)));
                 }
             }
         }

@@ -46,6 +46,7 @@ pub use exec;
 pub use measure;
 pub use netsim;
 pub use survey;
+pub use topo;
 pub use vstats;
 
 pub mod guidelines;

@@ -2,6 +2,7 @@
 //! reported: location estimate *and* nonparametric confidence interval
 //! *and* variability *and* the iid-assumption battery of F5.4.
 
+use netsim::FabricPerf;
 use vstats::ci::{quantile_ci, QuantileCi};
 use vstats::describe::Summary;
 use vstats::htest::AssumptionReport;
@@ -33,6 +34,12 @@ pub struct MeasurementReport {
     /// than its budgets allowed, so the losses are censored at the
     /// budget, not at the fault process.
     pub exhaustion: Option<ExhaustionNote>,
+    /// Fabric stepping counters merged over the campaign's
+    /// repetitions, when the campaign ran on a simulated fabric. The
+    /// link-cache pair reports the per-link capacity signature cache;
+    /// a flat (topology-less) fabric has no link-constrained steps
+    /// and renders as `n/a`.
+    pub fabric_perf: Option<FabricPerf>,
 }
 
 /// How much of its repair budget a supervised campaign consumed, and
@@ -78,6 +85,7 @@ impl MeasurementReport {
                 .then(|| AssumptionReport::run(samples)),
             coverage: 1.0,
             exhaustion: None,
+            fabric_perf: None,
         }
     }
 
@@ -96,6 +104,13 @@ impl MeasurementReport {
     /// campaign that produced it.
     pub fn with_exhaustion(mut self, note: ExhaustionNote) -> Self {
         self.exhaustion = Some(note);
+        self
+    }
+
+    /// Annotate the report with the merged fabric counters of the
+    /// campaign that produced it (see [`FabricPerf::merge`]).
+    pub fn with_fabric_perf(mut self, perf: FabricPerf) -> Self {
+        self.fabric_perf = Some(perf);
         self
     }
 
@@ -189,6 +204,29 @@ impl MeasurementReport {
                 a.stationary_5pct,
                 a.ljung_box_p,
                 if a.iid_assumptions_hold() { "OK" } else { "VIOLATED" }
+            ));
+        }
+        if let Some(p) = &self.fabric_perf {
+            // Pinned format (see `fabric_footer_format_is_pinned`):
+            // verify.sh byte-diffs reports across stepping paths and
+            // worker counts, so this line must be a pure function of
+            // the merged counters.
+            out.push_str(&format!(
+                "  fabric: {} steps, rate cache {}/{} ({:.1}% hit), link cache {}\n",
+                p.steps,
+                p.rate_cache_hits,
+                p.rate_recomputes + p.rate_cache_hits,
+                p.cache_hit_rate() * 100.0,
+                if p.link_recomputes + p.link_cache_hits == 0 {
+                    "n/a (flat fabric)".to_string()
+                } else {
+                    format!(
+                        "{}/{} ({:.1}% hit)",
+                        p.link_cache_hits,
+                        p.link_recomputes + p.link_cache_hits,
+                        p.link_cache_hit_rate() * 100.0
+                    )
+                }
             ));
         }
         out
@@ -299,5 +337,42 @@ mod tests {
     #[should_panic(expected = "coverage must be a fraction")]
     fn coverage_outside_unit_interval_is_rejected() {
         let _ = MeasurementReport::new("bench", &noisy(30, 1)).with_coverage(1.2);
+    }
+
+    #[test]
+    fn fabric_footer_format_is_pinned() {
+        use netsim::FabricPerf;
+        // verify.sh byte-diffs campaign output across stepping paths
+        // and worker counts; the footer must render these counters to
+        // exactly these bytes.
+        let linked = FabricPerf {
+            steps: 1000,
+            rate_recomputes: 40,
+            rate_cache_hits: 760,
+            link_recomputes: 40,
+            link_cache_hits: 760,
+            ..FabricPerf::default()
+        };
+        let r = MeasurementReport::new("bench", &noisy(30, 1)).with_fabric_perf(linked);
+        assert!(r.render().contains(
+            "  fabric: 1000 steps, rate cache 760/800 (95.0% hit), \
+             link cache 760/800 (95.0% hit)\n"
+        ));
+
+        let flat = FabricPerf {
+            steps: 500,
+            rate_recomputes: 100,
+            rate_cache_hits: 300,
+            ..FabricPerf::default()
+        };
+        let r = MeasurementReport::new("bench", &noisy(30, 1)).with_fabric_perf(flat);
+        assert!(r.render().contains(
+            "  fabric: 500 steps, rate cache 300/400 (75.0% hit), \
+             link cache n/a (flat fabric)\n"
+        ));
+
+        // Without the annotation the footer is absent entirely.
+        let r = MeasurementReport::new("bench", &noisy(30, 1));
+        assert!(!r.render().contains("fabric:"));
     }
 }

@@ -23,6 +23,9 @@
 //!   campaigns lose probes and VMs, and the harness degrades gracefully
 //!   (gap-annotated traces, partial fleet results, probe retry with
 //!   exponential backoff) instead of panicking.
+//! * [`placement`] — placement fleets: big-data repetitions re-placed
+//!   on a datacenter topology per run, exposing rack- and
+//!   uplink-induced variance that flat endpoint shaping cannot show.
 //! * [`resume`] — crash-safe campaigns: every settled shard is written
 //!   to a [`journal`] write-ahead log, a SIGKILLed campaign resumes
 //!   from it (with bit-for-bit re-verification of a journaled sample),
@@ -35,6 +38,7 @@ pub mod experiment;
 pub mod fingerprint;
 pub mod latency;
 pub mod pcap;
+pub mod placement;
 pub mod probe;
 pub mod rest;
 pub mod resume;
@@ -47,6 +51,7 @@ pub use campaign::{
 pub use error::MeasureError;
 pub use experiment::{ExperimentPlan, ExperimentReport};
 pub use fingerprint::{DriftFinding, Fingerprint};
+pub use placement::{run_placement_fleet, PlacementFleetResult};
 pub use probe::{
     probe_instance_type, probe_token_bucket, probe_with_retry, BucketEstimate, ProbeOutcome,
     RetryPolicy,

@@ -155,11 +155,66 @@ impl FlowSpec {
     }
 }
 
+/// Longest route the fabric stores inline. A fat-tree host-to-host path
+/// crosses at most six directed links (host→ToR→fabric→spine→fabric→
+/// ToR→host); eight leaves headroom for deeper zoo members without ever
+/// putting a route on the heap.
+pub const MAX_ROUTE_LINKS: usize = 8;
+
+/// The directed links a routed flow crosses, in hop order, stored
+/// inline so routed flow churn stays allocation-free (see
+/// `tests/alloc_free.rs`). Link indexes refer to the capacity slots
+/// installed by [`Fabric::set_link_caps`]; the empty route is a flat
+/// flow constrained only by endpoints and the optional core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkRoute {
+    links: [u32; MAX_ROUTE_LINKS],
+    len: u8,
+}
+
+impl Default for LinkRoute {
+    fn default() -> Self {
+        LinkRoute::EMPTY
+    }
+}
+
+impl LinkRoute {
+    /// The flat route: no in-network links crossed.
+    pub const EMPTY: LinkRoute = LinkRoute {
+        links: [0; MAX_ROUTE_LINKS],
+        len: 0,
+    };
+
+    /// Build a route from directed link slots in hop order. Panics if
+    /// the path is longer than [`MAX_ROUTE_LINKS`].
+    pub fn new(links: &[u32]) -> Self {
+        assert!(
+            links.len() <= MAX_ROUTE_LINKS,
+            "route longer than MAX_ROUTE_LINKS"
+        );
+        let mut r = LinkRoute::EMPTY;
+        r.links[..links.len()].copy_from_slice(links);
+        r.len = links.len() as u8;
+        r
+    }
+
+    /// The crossed link slots, in hop order.
+    pub fn links(&self) -> &[u32] {
+        &self.links[..self.len as usize]
+    }
+
+    /// Whether this is the flat (linkless) route.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[derive(Debug)]
 struct ActiveFlow {
     spec: FlowSpec,
     remaining_bits: f64,
     last_rate_bps: f64,
+    route: LinkRoute,
 }
 
 /// Ordered flow map backed by a sorted `Vec`. Flow ids are handed out
@@ -285,6 +340,14 @@ pub struct FabricPerf {
     /// as `rate_cache_hits` (the window horizon *proves* the signature
     /// check would have hit).
     pub event_steps: u64,
+    /// Water-filling runs that had to honor per-link capacities
+    /// (installed topology, non-empty link set). Zero on a flat fabric.
+    pub link_recomputes: u64,
+    /// Link-constrained steps served from the cached allocation — the
+    /// per-link capacity signature (and everything else) was bitwise
+    /// unchanged. Event-kernel steps on a linked fabric count here too,
+    /// for the same reason they count as `rate_cache_hits`.
+    pub link_cache_hits: u64,
 }
 
 impl FabricPerf {
@@ -296,6 +359,32 @@ impl FabricPerf {
         } else {
             self.rate_cache_hits as f64 / busy as f64
         }
+    }
+
+    /// Fraction of link-constrained steps served from the cache (0.0
+    /// when no topology was installed — a flat fabric has no link
+    /// steps at all).
+    pub fn link_cache_hit_rate(&self) -> f64 {
+        let busy = self.link_recomputes + self.link_cache_hits;
+        if busy == 0 {
+            0.0
+        } else {
+            self.link_cache_hits as f64 / busy as f64
+        }
+    }
+
+    /// Fold another fabric's counters into this one (campaign-level
+    /// aggregation across repetitions or placements).
+    pub fn merge(&mut self, other: &FabricPerf) {
+        self.steps += other.steps;
+        self.rate_recomputes += other.rate_recomputes;
+        self.rate_cache_hits += other.rate_cache_hits;
+        self.empty_steps += other.empty_steps;
+        self.ref_vec_allocs += other.ref_vec_allocs;
+        self.event_jumps += other.event_jumps;
+        self.event_steps += other.event_steps;
+        self.link_recomputes += other.link_recomputes;
+        self.link_cache_hits += other.link_cache_hits;
     }
 }
 
@@ -328,10 +417,20 @@ struct StepScratch {
     /// Per-flow `(rate*dt).min(remaining)` computed in the demand pass
     /// and reused verbatim in the deliver pass.
     want: Vec<f64>,
+    /// Per-flow routes aligned with `ids` (rebuilt with the spec mirror
+    /// on every flow-set epoch change).
+    routes: Vec<LinkRoute>,
+    /// Residual per-link capacity during water-filling.
+    link_res: Vec<f64>,
+    /// Unfrozen-flow counts per directed link for the current round.
+    link_count: Vec<usize>,
     /// Flow-set epoch the cache was computed for.
     sig_epoch: u64,
     /// Core capacity bit pattern the cache was computed for.
     sig_core: Option<u64>,
+    /// Per-link capacity bit patterns the cache was computed for — the
+    /// per-node signature generalized to the topology's links.
+    sig_links: Vec<u64>,
     /// Effective egress (hint × fault factor) bit patterns per node.
     sig_egress: Vec<u64>,
     /// Effective ingress (cap × fault factor) bit patterns per node.
@@ -378,6 +477,14 @@ pub struct Fabric<S> {
     active_eg: Vec<usize>,
     /// Per-node count of active flows destined to this node.
     active_in: Vec<usize>,
+    /// Directed per-link capacities in bits/s, installed by a topology
+    /// wiring ([`Fabric::set_link_caps`]). Empty = flat fabric: every
+    /// link loop below is vacuous and the arithmetic stream is exactly
+    /// the pre-topology per-node + core model.
+    link_caps: Vec<f64>,
+    /// Per-link count of active flows crossing each directed link,
+    /// maintained incrementally — the round-0 link counts.
+    active_link: Vec<usize>,
     scratch: StepScratch,
     perf: FabricPerf,
     /// The active stepping engine (see [`StepPath`]).
@@ -420,6 +527,8 @@ impl<S: Shaper> Fabric<S> {
             flow_epoch: 1,
             active_eg: Vec::new(),
             active_in: Vec::new(),
+            link_caps: Vec::new(),
+            active_link: Vec::new(),
             scratch: StepScratch::default(),
             perf: FabricPerf::default(),
             path: if slow { StepPath::Reference } else { gated },
@@ -511,6 +620,48 @@ impl<S: Shaper> Fabric<S> {
         self.core_capacity_bps = None;
     }
 
+    /// Install directed per-link capacities (bits/s): slot `l` is one
+    /// direction of one physical link of an external topology. Routed
+    /// flows ([`Fabric::start_flow_routed`]) name the slots they cross;
+    /// water-filling then honors each slot as a shared resource exactly
+    /// like a node's egress. Installing an **empty** set is the flat
+    /// fabric — no link logic runs at all, and every observable stays
+    /// bit-identical to a fabric that never heard of links.
+    ///
+    /// Must be called on an idle fabric (no in-flight flows): live
+    /// routes index the slots being replaced.
+    pub fn set_link_caps(&mut self, caps: Vec<f64>) {
+        assert!(
+            self.flows.is_empty(),
+            "install link capacities on an idle fabric"
+        );
+        for &c in &caps {
+            assert!(c > 0.0, "link capacity must be positive");
+        }
+        self.active_link.clear();
+        self.active_link.resize(caps.len(), 0);
+        self.link_caps = caps;
+        // The cached allocation (and its route mirror) is stale now.
+        self.flow_epoch += 1;
+    }
+
+    /// Number of installed directed link-capacity slots (0 = flat).
+    pub fn link_count(&self) -> usize {
+        self.link_caps.len()
+    }
+
+    /// Capacity of directed link slot `l` in bits/s.
+    pub fn link_cap_bps(&self, l: usize) -> f64 {
+        self.link_caps[l]
+    }
+
+    /// The id the **next** started flow will receive. Topology wirings
+    /// hash this into their ECMP path pick so path selection is a pure
+    /// function of (seed, flow order) — replayable, placement-stable.
+    pub fn next_flow_id_hint(&self) -> u64 {
+        self.next_flow
+    }
+
     /// Add a node with the given egress shaper and ingress capacity.
     pub fn add_node(&mut self, shaper: S, ingress_cap_bps: f64) -> NodeId {
         self.nodes.push(Node {
@@ -541,12 +692,25 @@ impl<S: Shaper> Fabric<S> {
 
     /// Start a transfer; completion is reported by [`Fabric::step`].
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        self.start_flow_routed(spec, LinkRoute::EMPTY)
+    }
+
+    /// Start a transfer that crosses the given directed links (in hop
+    /// order) of the installed topology; completion is reported by
+    /// [`Fabric::step`]. An empty route is exactly [`Fabric::start_flow`].
+    pub fn start_flow_routed(&mut self, spec: FlowSpec, route: LinkRoute) -> FlowId {
         assert!(
             spec.src < self.nodes.len() && spec.dst < self.nodes.len(),
             "flow endpoints must be fabric nodes"
         );
         assert!(spec.src != spec.dst, "loopback flows bypass the network");
         assert!(spec.bits >= 0.0, "flow size must be non-negative");
+        for &l in route.links() {
+            assert!(
+                (l as usize) < self.link_caps.len(),
+                "route names an uninstalled link slot"
+            );
+        }
         let id = FlowId(self.next_flow);
         self.next_flow += 1;
         self.flows.insert(
@@ -555,10 +719,14 @@ impl<S: Shaper> Fabric<S> {
                 spec,
                 remaining_bits: spec.bits,
                 last_rate_bps: 0.0,
+                route,
             },
         );
         self.active_eg[spec.src] += 1;
         self.active_in[spec.dst] += 1;
+        for &l in route.links() {
+            self.active_link[l as usize] += 1;
+        }
         self.flow_epoch += 1;
         id
     }
@@ -637,21 +805,29 @@ impl<S: Shaper> Fabric<S> {
             })
             .collect();
         let mut core = self.core_capacity_bps;
+        // Per-link residuals mirror the per-node ones; an empty link set
+        // (flat fabric) makes every link loop below vacuous.
+        let n_links = self.link_caps.len();
+        let mut link_res: Vec<f64> = self.link_caps.clone();
 
         loop {
             rounds += 1;
             // Count unfrozen flows per resource.
             let mut eg_count = vec![0usize; n_nodes];
             let mut in_count = vec![0usize; n_nodes];
+            let mut link_count = vec![0usize; n_links];
             let mut unfrozen = 0usize;
             for (k, id) in ids.iter().enumerate() {
                 if frozen[k] {
                     continue;
                 }
                 unfrozen += 1;
-                let s = self.flows[id].spec;
-                eg_count[s.src] += 1;
-                in_count[s.dst] += 1;
+                let f = &self.flows[id];
+                eg_count[f.spec.src] += 1;
+                in_count[f.spec.dst] += 1;
+                for &l in f.route.links() {
+                    link_count[l as usize] += 1;
+                }
             }
             if unfrozen == 0 {
                 break;
@@ -665,6 +841,11 @@ impl<S: Shaper> Fabric<S> {
                 }
                 if in_count[v] > 0 {
                     share = share.min(ingress[v] / in_count[v] as f64);
+                }
+            }
+            for l in 0..n_links {
+                if link_count[l] > 0 {
+                    share = share.min(link_res[l] / link_count[l] as f64);
                 }
             }
             if let Some(c) = core {
@@ -699,16 +880,30 @@ impl<S: Shaper> Fabric<S> {
                 if frozen[k] {
                     continue;
                 }
-                let s = self.flows[id].spec;
+                let f = &self.flows[id];
+                let s = f.spec;
                 let src_share = egress[s.src] / eg_count[s.src] as f64;
                 let dst_share = ingress[s.dst] / in_count[s.dst] as f64;
+                let mut link_binding = false;
+                for &l in f.route.links() {
+                    if link_res[l as usize] / link_count[l as usize] as f64 <= share + eps {
+                        link_binding = true;
+                    }
+                }
                 let capped = s.max_rate_bps <= share + eps;
-                if core_binding || src_share <= share + eps || dst_share <= share + eps || capped
+                if core_binding
+                    || src_share <= share + eps
+                    || dst_share <= share + eps
+                    || link_binding
+                    || capped
                 {
                     frozen[k] = true;
                     rate[k] = share;
                     egress[s.src] = (egress[s.src] - share).max(0.0);
                     ingress[s.dst] = (ingress[s.dst] - share).max(0.0);
+                    for &l in f.route.links() {
+                        link_res[l as usize] = (link_res[l as usize] - share).max(0.0);
+                    }
                     if let Some(c) = core.as_mut() {
                         *c = (*c - share).max(0.0);
                     }
@@ -740,13 +935,16 @@ impl<S: Shaper> Fabric<S> {
         let sc = &mut self.scratch;
         let mut dirty = false;
 
-        // 1. Flow set: rebuild the id/spec mirror when the epoch moved.
+        // 1. Flow set: rebuild the id/spec/route mirror when the epoch
+        // moved.
         if sc.sig_epoch != self.flow_epoch {
             sc.ids.clear();
             sc.specs.clear();
+            sc.routes.clear();
             for (id, f) in self.flows.iter() {
                 sc.ids.push(*id);
                 sc.specs.push(f.spec);
+                sc.routes.push(f.route);
             }
             sc.sig_epoch = self.flow_epoch;
             dirty = true;
@@ -787,12 +985,33 @@ impl<S: Shaper> Fabric<S> {
             sc.sig_core = core_bits;
             dirty = true;
         }
+        // Per-link capacity signature: the per-node check generalized
+        // to the topology's directed link slots. Vacuous (zero work,
+        // zero counter movement) on a flat fabric.
+        let n_links = self.link_caps.len();
+        if sc.sig_links.len() != n_links {
+            sc.sig_links.clear();
+            sc.sig_links.resize(n_links, 0);
+            dirty = true;
+        }
+        for (l, cap) in self.link_caps.iter().enumerate() {
+            if sc.sig_links[l] != cap.to_bits() {
+                sc.sig_links[l] = cap.to_bits();
+                dirty = true;
+            }
+        }
 
         if !dirty {
             self.perf.rate_cache_hits += 1;
+            if n_links > 0 {
+                self.perf.link_cache_hits += 1;
+            }
             return;
         }
         self.perf.rate_recomputes += 1;
+        if n_links > 0 {
+            self.perf.link_recomputes += 1;
+        }
 
         // 3. Water-filling into the scratch buffers.
         let k_flows = sc.ids.len();
@@ -804,6 +1023,10 @@ impl<S: Shaper> Fabric<S> {
         sc.eg_count.extend_from_slice(&self.active_eg);
         sc.in_count.clear();
         sc.in_count.extend_from_slice(&self.active_in);
+        sc.link_count.clear();
+        sc.link_count.extend_from_slice(&self.active_link);
+        sc.link_res.clear();
+        sc.link_res.extend_from_slice(&self.link_caps);
         let mut unfrozen = k_flows;
         let mut core = self.core_capacity_bps;
 
@@ -820,6 +1043,11 @@ impl<S: Shaper> Fabric<S> {
                 }
                 if sc.in_count[v] > 0 {
                     share = share.min(sc.ingress[v] / sc.in_count[v] as f64);
+                }
+            }
+            for l in 0..n_links {
+                if sc.link_count[l] > 0 {
+                    share = share.min(sc.link_res[l] / sc.link_count[l] as f64);
                 }
             }
             if let Some(c) = core {
@@ -858,13 +1086,27 @@ impl<S: Shaper> Fabric<S> {
                 let s = sc.specs[k];
                 let src_share = sc.egress[s.src] / sc.eg_count[s.src] as f64;
                 let dst_share = sc.ingress[s.dst] / sc.in_count[s.dst] as f64;
+                let mut link_binding = false;
+                for &l in sc.routes[k].links() {
+                    if sc.link_res[l as usize] / sc.link_count[l as usize] as f64 <= share + eps
+                    {
+                        link_binding = true;
+                    }
+                }
                 let capped = s.max_rate_bps <= share + eps;
-                if core_binding || src_share <= share + eps || dst_share <= share + eps || capped
+                if core_binding
+                    || src_share <= share + eps
+                    || dst_share <= share + eps
+                    || link_binding
+                    || capped
                 {
                     sc.frozen[k] = true;
                     sc.rate[k] = share;
                     sc.egress[s.src] = (sc.egress[s.src] - share).max(0.0);
                     sc.ingress[s.dst] = (sc.ingress[s.dst] - share).max(0.0);
+                    for &l in sc.routes[k].links() {
+                        sc.link_res[l as usize] = (sc.link_res[l as usize] - share).max(0.0);
+                    }
                     if let Some(c) = core.as_mut() {
                         *c = (*c - share).max(0.0);
                     }
@@ -882,6 +1124,9 @@ impl<S: Shaper> Fabric<S> {
                 let s = sc.specs[k];
                 sc.eg_count[s.src] -= 1;
                 sc.in_count[s.dst] -= 1;
+                for &l in sc.routes[k].links() {
+                    sc.link_count[l as usize] -= 1;
+                }
                 unfrozen -= 1;
             }
         }
@@ -960,6 +1205,9 @@ impl<S: Shaper> Fabric<S> {
             if let Some(f) = self.flows.remove(id) {
                 self.active_eg[f.spec.src] -= 1;
                 self.active_in[f.spec.dst] -= 1;
+                for &l in f.route.links() {
+                    self.active_link[l as usize] -= 1;
+                }
             }
         }
         if !completed.is_empty() {
@@ -975,8 +1223,14 @@ impl<S: Shaper> Fabric<S> {
     fn step_reference(&mut self, dt: f64) -> Vec<FlowId> {
         let (rates, rounds) = self.compute_rates_reference();
         // compute_rates_reference: ids, rate, frozen, egress, ingress,
-        // the final collect, plus two count vectors per round.
+        // the final collect, plus two count vectors per round. With a
+        // topology installed, the link residual clone plus one link
+        // count vector per round on top (empty Vecs do not allocate,
+        // so the flat count is unchanged).
         self.perf.ref_vec_allocs += 6 + 2 * rounds;
+        if !self.link_caps.is_empty() {
+            self.perf.ref_vec_allocs += 1 + rounds;
+        }
 
         // Aggregate per-node egress demand.
         let mut node_demand = vec![0.0f64; self.nodes.len()];
@@ -1013,6 +1267,9 @@ impl<S: Shaper> Fabric<S> {
             if let Some(f) = self.flows.remove(id) {
                 self.active_eg[f.spec.src] -= 1;
                 self.active_in[f.spec.dst] -= 1;
+                for &l in f.route.links() {
+                    self.active_link[l as usize] -= 1;
+                }
             }
         }
         if !completed.is_empty() {
@@ -1250,6 +1507,12 @@ impl<S: Shaper> Fabric<S> {
                 || sc.sig_epoch != self.flow_epoch
                 || sc.sig_egress.len() != n_nodes
                 || sc.sig_core != self.core_capacity_bps.map(f64::to_bits)
+                || sc.sig_links.len() != self.link_caps.len()
+                || self
+                    .link_caps
+                    .iter()
+                    .zip(&sc.sig_links)
+                    .any(|(cap, sig)| cap.to_bits() != *sig)
             {
                 return 0;
             }
@@ -1395,6 +1658,9 @@ impl<S: Shaper> Fabric<S> {
         }
         self.perf.steps += taken;
         self.perf.rate_cache_hits += taken;
+        if !self.link_caps.is_empty() {
+            self.perf.link_cache_hits += taken;
+        }
         self.perf.event_steps += taken;
         self.perf.event_jumps += 1;
 
@@ -1415,6 +1681,9 @@ impl<S: Shaper> Fabric<S> {
                 if let Some(f) = self.flows.remove(id) {
                     self.active_eg[f.spec.src] -= 1;
                     self.active_in[f.spec.dst] -= 1;
+                    for &l in f.route.links() {
+                        self.active_link[l as usize] -= 1;
+                    }
                 }
             }
             self.flow_epoch += 1;
@@ -1463,6 +1732,9 @@ impl<S: Shaper> Fabric<S> {
             *c = 0;
         }
         for c in &mut self.active_in {
+            *c = 0;
+        }
+        for c in &mut self.active_link {
             *c = 0;
         }
         self.flow_epoch += 1;
@@ -1819,5 +2091,122 @@ mod tests {
             ids.len()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_link_bottlenecks_routed_flows() {
+        // Two 10 Gbps senders into two receivers, but both routes cross
+        // one 4 Gbps directed link: each flow gets 2 Gbps, not 10.
+        let mut f = static_fabric(4, gbps(10.0));
+        f.set_link_caps(vec![gbps(4.0)]);
+        let a = f.start_flow_routed(FlowSpec::new(0, 2, gbit(100.0)), LinkRoute::new(&[0]));
+        let b = f.start_flow_routed(FlowSpec::new(1, 3, gbit(100.0)), LinkRoute::new(&[0]));
+        f.step(0.1);
+        assert!((f.flow_last_rate(a).unwrap() - gbps(2.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(2.0)).abs() < 1.0);
+        assert!(f.perf().link_recomputes > 0);
+    }
+
+    #[test]
+    fn unrouted_flow_ignores_installed_links() {
+        let mut f = static_fabric(2, gbps(10.0));
+        f.set_link_caps(vec![gbps(1.0)]);
+        let id = f.start_flow(FlowSpec::new(0, 1, gbit(100.0)));
+        f.step(0.1);
+        assert!((f.flow_last_rate(id).unwrap() - gbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn linked_max_min_frees_headroom_for_unbottlenecked_flows() {
+        // Flow a crosses a 2 Gbps link; flow b shares a's 10 Gbps source
+        // but not the link, so max-min gives b the 8 Gbps a cannot use.
+        let mut f = static_fabric(3, gbps(10.0));
+        f.set_link_caps(vec![gbps(2.0)]);
+        let a = f.start_flow_routed(FlowSpec::new(0, 1, gbit(100.0)), LinkRoute::new(&[0]));
+        let b = f.start_flow(FlowSpec::new(0, 2, gbit(100.0)));
+        f.step(0.1);
+        assert!((f.flow_last_rate(a).unwrap() - gbps(2.0)).abs() < 1.0);
+        assert!((f.flow_last_rate(b).unwrap() - gbps(8.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn linked_fabric_is_bit_identical_across_all_three_paths() {
+        let run = |path: StepPath| {
+            let mut f: Fabric<TokenBucket> = Fabric::new();
+            for _ in 0..6 {
+                f.add_node(
+                    TokenBucket::new(gbit(8.0), gbit(8.0), gbps(10.0), gbps(1.0), gbps(1.0)),
+                    gbps(10.0),
+                );
+            }
+            f.force_path(path);
+            // A 3-link chain shared pairwise by staggered flows.
+            f.set_link_caps(vec![gbps(3.0), gbps(5.0), gbps(7.0)]);
+            let mut rng = SimRng::new(0x70b0);
+            let mut completed = Vec::new();
+            for round in 0..20u64 {
+                let src = rng.index(6);
+                let dst = (src + 1 + rng.index(5)) % 6;
+                let links: &[u32] = match round % 4 {
+                    0 => &[0],
+                    1 => &[0, 1],
+                    2 => &[1, 2],
+                    _ => &[],
+                };
+                f.start_flow_routed(
+                    FlowSpec::new(src, dst, gbit(2.0) * (1.0 + rng.uniform())),
+                    LinkRoute::new(links),
+                );
+                f.advance(0.01, 50, &mut completed);
+            }
+            f.advance(0.01, 200_000, &mut completed);
+            let mut sig = Vec::new();
+            sig.push(f.now().to_bits());
+            for v in 0..6 {
+                sig.push(f.node_total_tx_bits(v).to_bits());
+            }
+            sig.extend(completed.iter().map(|id| id.0));
+            (sig, f.active_flows())
+        };
+        let ev = run(StepPath::Event);
+        let fast = run(StepPath::Fast);
+        let slow = run(StepPath::Reference);
+        assert_eq!(ev, fast, "event vs fast diverged on a linked fabric");
+        assert_eq!(fast, slow, "fast vs reference diverged on a linked fabric");
+    }
+
+    #[test]
+    fn empty_link_set_is_bitwise_the_flat_fabric() {
+        let run = |install_empty: bool| {
+            let mut f: Fabric<TokenBucket> = Fabric::new();
+            for _ in 0..4 {
+                f.add_node(
+                    TokenBucket::new(gbit(4.0), gbit(4.0), gbps(10.0), gbps(1.0), gbps(1.0)),
+                    gbps(10.0),
+                );
+            }
+            if install_empty {
+                f.set_link_caps(Vec::new());
+            }
+            let mut completed = Vec::new();
+            for i in 0..8 {
+                f.start_flow(FlowSpec::new(i % 4, (i + 1) % 4, gbit(3.0)));
+                f.advance(0.01, 100, &mut completed);
+            }
+            f.advance(0.01, 100_000, &mut completed);
+            let perf = f.perf();
+            (
+                f.now().to_bits(),
+                (0..4).map(|v| f.node_total_tx_bits(v).to_bits()).collect::<Vec<_>>(),
+                completed,
+                perf.rate_recomputes,
+                perf.link_recomputes + perf.link_cache_hits,
+            )
+        };
+        let flat = run(false);
+        let installed = run(true);
+        assert_eq!(flat.4, 0, "flat fabric must book no link counters");
+        assert_eq!(installed.4, 0, "empty link set must book no link counters");
+        assert_eq!(flat, installed);
     }
 }

@@ -59,7 +59,10 @@ pub mod tcp;
 pub mod trace;
 pub mod units;
 
-pub use fabric::{EventCause, Fabric, FabricPerf, FlowId, FlowSpec, NextEvent, NodeId, StepPath};
+pub use fabric::{
+    EventCause, Fabric, FabricPerf, FlowId, FlowSpec, LinkRoute, NextEvent, NodeId, StepPath,
+    MAX_ROUTE_LINKS,
+};
 pub use faults::{FaultConfig, FaultEpisode, FaultInjector, FaultKind, FaultSchedule};
 pub use nic::{NicModel, PacketOutcome};
 pub use pattern::TrafficPattern;

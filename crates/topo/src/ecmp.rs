@@ -1,0 +1,204 @@
+//! Deterministic ECMP path resolution: all equal-cost shortest paths
+//! between every host pair, enumerated in sorted-adjacency order, with
+//! a seed-derived flow→path hash. Real switches hash the five-tuple;
+//! here the "five-tuple" is `(src, dst, flow_label)` folded through the
+//! simulator's [`derive_seed`] stream so path spreading replays exactly
+//! under seed replay and never consults global state.
+
+use crate::model::{TopoError, Topology};
+use netsim::rng::derive_seed;
+use netsim::{LinkRoute, SimRng, MAX_ROUTE_LINKS};
+use std::collections::BTreeMap;
+
+/// Cap on enumerated equal-cost paths per host pair. A `k`-ary fat
+/// tree has `(k/2)²` inter-pod shortest paths — 64 covers `k = 16`
+/// (1024 hosts); beyond the cap the lexicographically smallest paths
+/// (by sorted-adjacency DFS order) are kept, which is itself
+/// deterministic.
+pub const MAX_ECMP_PATHS: usize = 64;
+
+/// Precomputed equal-cost shortest paths for every ordered host pair,
+/// plus the seeded hash that spreads flows across them.
+#[derive(Debug, Clone)]
+pub struct EcmpRouter {
+    seed: u64,
+    paths: BTreeMap<(usize, usize), Vec<LinkRoute>>,
+}
+
+impl EcmpRouter {
+    /// Enumerate the equal-cost shortest paths between every ordered
+    /// pair of hosts in `topo`. Flat (linkless) topologies yield a
+    /// router whose every route is [`LinkRoute::EMPTY`]; a tiered
+    /// topology with a disconnected host pair is an error, as is a
+    /// shortest path longer than [`MAX_ROUTE_LINKS`] hops.
+    pub fn new(topo: &Topology, seed: u64) -> Result<Self, TopoError> {
+        let mut paths = BTreeMap::new();
+        if topo.is_flat() {
+            return Ok(EcmpRouter { seed, paths });
+        }
+        let hosts = topo.hosts();
+        let n = topo.node_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue: Vec<usize> = Vec::with_capacity(n);
+        for &src in &hosts {
+            // BFS hop distances from src.
+            dist.iter_mut().for_each(|d| *d = usize::MAX);
+            dist[src] = 0;
+            queue.clear();
+            queue.push(src);
+            let mut head = 0;
+            while head < queue.len() {
+                let v = queue[head];
+                head += 1;
+                for &(w, _) in topo.neighbors(v) {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        queue.push(w);
+                    }
+                }
+            }
+            for &dst in &hosts {
+                if dst == src {
+                    continue;
+                }
+                if dist[dst] == usize::MAX {
+                    return Err(TopoError::Schema(format!(
+                        "hosts {src} and {dst} are disconnected"
+                    )));
+                }
+                if dist[dst] > MAX_ROUTE_LINKS {
+                    return Err(TopoError::Schema(format!(
+                        "shortest path {src} -> {dst} crosses {} links, max {MAX_ROUTE_LINKS}",
+                        dist[dst]
+                    )));
+                }
+                let mut found = Vec::new();
+                let mut hops: Vec<u32> = Vec::with_capacity(dist[dst]);
+                dfs_paths(topo, &dist, src, dst, &mut hops, &mut found);
+                paths.insert((src, dst), found);
+            }
+        }
+        Ok(EcmpRouter { seed, paths })
+    }
+
+    /// The equal-cost path set for `src → dst`, in enumeration order.
+    /// Empty only on a flat topology (or `src == dst`).
+    pub fn paths(&self, src: usize, dst: usize) -> &[LinkRoute] {
+        self.paths.get(&(src, dst)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Pick the path a flow with the given label takes. The label is
+    /// the fabric's flow id (see `Fabric::next_flow_id_hint`) so the
+    /// choice is a pure function of `(seed, src, dst, label)` —
+    /// independent of arrival interleaving across shards.
+    pub fn route(&self, src: usize, dst: usize, flow_label: u64) -> LinkRoute {
+        let set = self.paths(src, dst);
+        match set.len() {
+            0 => LinkRoute::EMPTY,
+            1 => set[0],
+            n => {
+                let pair = ((src as u64) << 32) | dst as u64;
+                let mut rng = SimRng::new(derive_seed(derive_seed(self.seed, pair), flow_label));
+                set[rng.index(n)]
+            }
+        }
+    }
+
+    /// The hash seed this router spreads with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// DFS over the shortest-path DAG (`dist[w] == dist[v] + 1` edges) in
+/// sorted-adjacency order, emitting each path as directed link slots.
+fn dfs_paths(
+    topo: &Topology,
+    dist: &[usize],
+    v: usize,
+    dst: usize,
+    hops: &mut Vec<u32>,
+    found: &mut Vec<LinkRoute>,
+) {
+    if found.len() >= MAX_ECMP_PATHS {
+        return;
+    }
+    if v == dst {
+        found.push(LinkRoute::new(hops));
+        return;
+    }
+    for &(w, link) in topo.neighbors(v) {
+        if dist[w] == dist[v] + 1 {
+            hops.push(topo.directed_slot(link, v));
+            dfs_paths(topo, dist, w, dst, hops, found);
+            hops.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn star_has_one_two_hop_path_per_pair() {
+        let t = zoo::star(4).unwrap();
+        let r = EcmpRouter::new(&t, 1).unwrap();
+        for s in 0..4 {
+            for d in 0..4 {
+                if s == d {
+                    continue;
+                }
+                let set = r.paths(s, d);
+                assert_eq!(set.len(), 1);
+                assert_eq!(set[0].links().len(), 2, "host-tor, tor-host");
+            }
+        }
+    }
+
+    #[test]
+    fn fattree_interpod_pairs_have_quadratic_path_spread() {
+        let t = zoo::fattree(4).unwrap();
+        let r = EcmpRouter::new(&t, 7).unwrap();
+        let hosts = t.hosts();
+        // First host of pod 0 and first host of pod 1: (k/2)^2 = 4
+        // spine paths, 6 links each.
+        let (a, b) = (hosts[0], hosts[4]);
+        let set = r.paths(a, b);
+        assert_eq!(set.len(), 4);
+        for p in set {
+            assert_eq!(p.links().len(), 6);
+        }
+        // Same-rack pair: single 2-hop path through the shared ToR.
+        let set = r.paths(hosts[0], hosts[1]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set[0].links().len(), 2);
+    }
+
+    #[test]
+    fn route_choice_is_a_pure_function_of_seed_and_label() {
+        let t = zoo::fattree(4).unwrap();
+        let r1 = EcmpRouter::new(&t, 42).unwrap();
+        let r2 = EcmpRouter::new(&t, 42).unwrap();
+        let hosts = t.hosts();
+        let (a, b) = (hosts[0], hosts[12]);
+        for label in 0..64u64 {
+            assert_eq!(r1.route(a, b, label), r2.route(a, b, label));
+        }
+        // A different seed respreads at least one of 64 flows.
+        let r3 = EcmpRouter::new(&t, 43).unwrap();
+        assert!((0..64u64).any(|l| r1.route(a, b, l) != r3.route(a, b, l)));
+        // And the spread actually uses more than one path.
+        let first = r1.route(a, b, 0);
+        assert!((1..64u64).any(|l| r1.route(a, b, l) != first));
+    }
+
+    #[test]
+    fn flat_routes_are_empty() {
+        let t = zoo::flat(4);
+        let r = EcmpRouter::new(&t, 9).unwrap();
+        assert!(r.route(0, 3, 5).is_empty());
+        assert!(r.paths(0, 3).is_empty());
+    }
+}

@@ -1,0 +1,731 @@
+//! Hand-rolled (de)serialization of the parsimon-style cluster JSON
+//! schema — the `TINY_CLUSTER` shape: top-level `fab2spine` links and
+//! spine `planes`, then `pods` of fabric switches, `tor2fab` links,
+//! and racks (`tor`, `hosts`, `host2tor`). No serde: the workspace is
+//! hermetic, and the schema is small enough that a recursive-descent
+//! parser is the simpler dependency.
+//!
+//! Bandwidths are bits/s; delays are nanoseconds on the wire (the
+//! snippet's `1000` = 1 µs) and seconds in [`Topology`].
+
+use crate::model::{NodeKind, TopoError, Topology, TopologyBuilder};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// A minimal JSON value tree. Object keys keep document order in a Vec:
+// parsing is deterministic and serialization needs no hash ordering.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, TopoError> {
+        Err(TopoError::Json(self.pos, msg.to_string()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self, c: u8) -> Result<(), TopoError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", c as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, TopoError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, TopoError> {
+        self.consume(b'{')?;
+        let mut kvs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(kvs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            let val = self.value()?;
+            kvs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(kvs));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, TopoError> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TopoError> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => return self.err("unsupported escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x80 => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let s = &self.bytes[self.pos..];
+                    match std::str::from_utf8(s).ok().and_then(|t| t.chars().next()) {
+                        Some(ch) => {
+                            out.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                        None => return self.err("invalid utf-8"),
+                    }
+                }
+                None => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, TopoError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-'
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| TopoError::Json(start, "invalid number bytes".to_string()))?;
+        match s.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            _ => Err(TopoError::Json(start, format!("bad number {s:?}"))),
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, TopoError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(v)
+}
+
+fn write_num(out: &mut String, x: f64) {
+    // Integral values print as integers (the wire format's style);
+    // everything else uses Rust's shortest round-trip repr.
+    if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match v {
+        Value::Num(x) => write_num(out, *x),
+        Value::Str(s) => {
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    _ => out.push(ch),
+                }
+            }
+            out.push('"');
+        }
+        Value::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(kvs) => {
+            if kvs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in kvs.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  \"");
+                out.push_str(k);
+                out.push_str("\": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < kvs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema mapping.
+// ---------------------------------------------------------------------
+
+fn node_obj(id: usize, kind: NodeKind) -> Value {
+    let label = match kind {
+        NodeKind::Host => "Host",
+        _ => "Switch",
+    };
+    Value::Obj(vec![
+        ("id".to_string(), Value::Num(id as f64)),
+        ("kind".to_string(), Value::Str(label.to_string())),
+    ])
+}
+
+fn link_obj(a: usize, b: usize, bandwidth_bps: f64, delay_s: f64) -> Value {
+    Value::Obj(vec![
+        ("a".to_string(), Value::Num(a as f64)),
+        ("b".to_string(), Value::Num(b as f64)),
+        ("bandwidth".to_string(), Value::Num(bandwidth_bps)),
+        ("delay".to_string(), Value::Num(delay_s * 1e9)),
+    ])
+}
+
+/// Serialize a tiered topology into the cluster JSON schema. Every
+/// link must be host↔ToR, ToR↔fabric, or fabric↔spine (that is the
+/// schema's vocabulary); a `flat` or otherwise non-tiered topology is
+/// a [`TopoError::Schema`] error.
+pub fn to_cluster_json(topo: &Topology) -> Result<String, TopoError> {
+    let n = topo.node_count();
+    // Classify links.
+    let mut host2tor: Vec<(usize, usize, usize)> = Vec::new(); // host, tor, link
+    let mut tor2fab: Vec<(usize, usize, usize)> = Vec::new();
+    let mut fab2spine: Vec<(usize, usize, usize)> = Vec::new();
+    for (i, l) in topo.links().iter().enumerate() {
+        let (ka, kb) = (topo.kind(l.a), topo.kind(l.b));
+        let pair = |want_a: NodeKind, want_b: NodeKind| -> Option<(usize, usize)> {
+            if ka == want_a && kb == want_b {
+                Some((l.a, l.b))
+            } else if ka == want_b && kb == want_a {
+                Some((l.b, l.a))
+            } else {
+                None
+            }
+        };
+        if let Some((h, t)) = pair(NodeKind::Host, NodeKind::Tor) {
+            host2tor.push((h, t, i));
+        } else if let Some((t, f)) = pair(NodeKind::Tor, NodeKind::Fabric) {
+            tor2fab.push((t, f, i));
+        } else if let Some((f, s)) = pair(NodeKind::Fabric, NodeKind::Spine) {
+            fab2spine.push((f, s, i));
+        } else {
+            return Err(TopoError::Schema(format!(
+                "link {i} ({:?}-{:?}) does not fit the cluster schema",
+                ka, kb
+            )));
+        }
+    }
+    host2tor.sort_unstable();
+    tor2fab.sort_unstable();
+    fab2spine.sort_unstable();
+
+    // Pods: connected components over the non-spine subgraph.
+    let mut pod_of: Vec<Option<usize>> = vec![None; n];
+    let mut pods: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if topo.kind(start) == NodeKind::Spine || pod_of[start].is_some() {
+            continue;
+        }
+        let pod = pods.len();
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        pod_of[start] = Some(pod);
+        while let Some(v) = stack.pop() {
+            members.push(v);
+            for &(w, _) in topo.neighbors(v) {
+                if topo.kind(w) != NodeKind::Spine && pod_of[w].is_none() {
+                    pod_of[w] = Some(pod);
+                    stack.push(w);
+                }
+            }
+        }
+        members.sort_unstable();
+        pods.push(members);
+    }
+
+    // Every host must sit in exactly one rack: one ToR uplink.
+    let mut tor_of_host: BTreeMap<usize, usize> = BTreeMap::new();
+    for &(h, t, _) in &host2tor {
+        if tor_of_host.insert(h, t).is_some() {
+            return Err(TopoError::Schema(format!("host {h} has multiple ToR uplinks")));
+        }
+    }
+    for v in 0..n {
+        if topo.kind(v) == NodeKind::Host && !tor_of_host.contains_key(&v) {
+            return Err(TopoError::Schema(format!(
+                "host {v} has no ToR uplink (flat topologies have no cluster form)"
+            )));
+        }
+    }
+
+    // Spine planes: a spine's plane is the smallest in-pod index of
+    // its fabric neighbors (presentational grouping only; the parser
+    // reconstructs kinds from section membership, not from planes).
+    let fab_index: BTreeMap<usize, usize> = {
+        let mut m = BTreeMap::new();
+        for members in &pods {
+            let fabs: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&v| topo.kind(v) == NodeKind::Fabric)
+                .collect();
+            for (i, &f) in fabs.iter().enumerate() {
+                m.insert(f, i);
+            }
+        }
+        m
+    };
+    let mut planes: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for v in 0..n {
+        if topo.kind(v) != NodeKind::Spine {
+            continue;
+        }
+        let plane = fab2spine
+            .iter()
+            .filter(|&&(_, s, _)| s == v)
+            .filter_map(|&(f, _, _)| fab_index.get(&f).copied())
+            .min()
+            .unwrap_or(0);
+        planes.entry(plane).or_default().push(v);
+    }
+
+    // Assemble the document.
+    let fab2spine_json = Value::Arr(
+        fab2spine
+            .iter()
+            .map(|&(f, s, i)| {
+                let l = topo.link(i);
+                link_obj(f, s, l.bandwidth_bps, l.delay_s)
+            })
+            .collect(),
+    );
+    let planes_json = Value::Arr(
+        planes
+            .values()
+            .map(|spines| Value::Arr(spines.iter().map(|&s| node_obj(s, NodeKind::Spine)).collect()))
+            .collect(),
+    );
+    let pods_json = Value::Arr(
+        pods.iter()
+            .map(|members| {
+                let fabs: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&v| topo.kind(v) == NodeKind::Fabric)
+                    .collect();
+                let tors: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|&v| topo.kind(v) == NodeKind::Tor)
+                    .collect();
+                let t2f = Value::Arr(
+                    tor2fab
+                        .iter()
+                        .filter(|&&(t, _, _)| members.binary_search(&t).is_ok())
+                        .map(|&(t, f, i)| {
+                            let l = topo.link(i);
+                            link_obj(t, f, l.bandwidth_bps, l.delay_s)
+                        })
+                        .collect(),
+                );
+                let racks = Value::Arr(
+                    tors.iter()
+                        .map(|&t| {
+                            let h2t: Vec<&(usize, usize, usize)> =
+                                host2tor.iter().filter(|&&(_, tor, _)| tor == t).collect();
+                            Value::Obj(vec![
+                                (
+                                    "host2tor".to_string(),
+                                    Value::Arr(
+                                        h2t.iter()
+                                            .map(|&&(h, tor, i)| {
+                                                let l = topo.link(i);
+                                                link_obj(h, tor, l.bandwidth_bps, l.delay_s)
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "hosts".to_string(),
+                                    Value::Arr(
+                                        h2t.iter()
+                                            .map(|&&(h, _, _)| node_obj(h, NodeKind::Host))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("tor".to_string(), node_obj(t, NodeKind::Tor)),
+                            ])
+                        })
+                        .collect(),
+                );
+                Value::Obj(vec![
+                    (
+                        "fabs".to_string(),
+                        Value::Arr(fabs.iter().map(|&f| node_obj(f, NodeKind::Fabric)).collect()),
+                    ),
+                    ("tor2fab".to_string(), t2f),
+                    ("racks".to_string(), racks),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::Obj(vec![
+        ("fab2spine".to_string(), fab2spine_json),
+        ("planes".to_string(), planes_json),
+        ("pods".to_string(), pods_json),
+    ]);
+    let mut out = String::new();
+    write_value(&mut out, &doc, 0);
+    out.push('\n');
+    Ok(out)
+}
+
+fn read_id(v: &Value, what: &str) -> Result<usize, TopoError> {
+    let x = v
+        .as_num()
+        .ok_or_else(|| TopoError::Schema(format!("{what} must be a number")))?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(TopoError::Schema(format!("{what} must be a non-negative integer")));
+    }
+    Ok(x as usize)
+}
+
+fn read_node(
+    v: &Value,
+    kind: NodeKind,
+    ids: &mut BTreeMap<usize, NodeKind>,
+) -> Result<usize, TopoError> {
+    let id = read_id(
+        v.get("id")
+            .ok_or_else(|| TopoError::Schema("node without id".to_string()))?,
+        "node id",
+    )?;
+    let label = v.get("kind").and_then(Value::as_str).unwrap_or("");
+    let want = match kind {
+        NodeKind::Host => label == "Host",
+        _ => label == "Switch" || label == kind.as_str(),
+    };
+    if !want {
+        return Err(TopoError::Schema(format!(
+            "node {id} declared {label:?} in a {} position",
+            kind.as_str()
+        )));
+    }
+    if ids.insert(id, kind).is_some() {
+        return Err(TopoError::Schema(format!("node {id} declared twice")));
+    }
+    Ok(id)
+}
+
+struct RawLink {
+    a: usize,
+    b: usize,
+    bandwidth_bps: f64,
+    delay_s: f64,
+}
+
+fn read_link(v: &Value, what: &str) -> Result<RawLink, TopoError> {
+    let a = read_id(
+        v.get("a")
+            .ok_or_else(|| TopoError::Schema(format!("{what} link without a")))?,
+        "link a",
+    )?;
+    let b = read_id(
+        v.get("b")
+            .ok_or_else(|| TopoError::Schema(format!("{what} link without b")))?,
+        "link b",
+    )?;
+    let bw = v
+        .get("bandwidth")
+        .and_then(Value::as_num)
+        .ok_or_else(|| TopoError::Schema(format!("{what} link without bandwidth")))?;
+    let delay_ns = v.get("delay").and_then(Value::as_num).unwrap_or(0.0);
+    Ok(RawLink {
+        a,
+        b,
+        bandwidth_bps: bw,
+        delay_s: delay_ns / 1e9,
+    })
+}
+
+/// Parse a cluster JSON document into a [`Topology`] named `cluster`.
+/// Node kinds come from section membership (planes → spines, pod
+/// `fabs` → fabric, rack `tor`/`hosts` → ToR/hosts); ids must be dense.
+pub fn from_cluster_json(text: &str) -> Result<Topology, TopoError> {
+    let doc = parse_value(text)?;
+    let mut ids: BTreeMap<usize, NodeKind> = BTreeMap::new();
+    let mut links: Vec<RawLink> = Vec::new();
+
+    for plane in doc
+        .get("planes")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+    {
+        for spine in plane.as_arr().unwrap_or(&[]) {
+            read_node(spine, NodeKind::Spine, &mut ids)?;
+        }
+    }
+    for pod in doc.get("pods").and_then(Value::as_arr).unwrap_or(&[]).iter() {
+        for fab in pod.get("fabs").and_then(Value::as_arr).unwrap_or(&[]) {
+            read_node(fab, NodeKind::Fabric, &mut ids)?;
+        }
+        for rack in pod.get("racks").and_then(Value::as_arr).unwrap_or(&[]) {
+            if let Some(tor) = rack.get("tor") {
+                read_node(tor, NodeKind::Tor, &mut ids)?;
+            }
+            for host in rack.get("hosts").and_then(Value::as_arr).unwrap_or(&[]) {
+                read_node(host, NodeKind::Host, &mut ids)?;
+            }
+            for l in rack.get("host2tor").and_then(Value::as_arr).unwrap_or(&[]) {
+                links.push(read_link(l, "host2tor")?);
+            }
+        }
+        for l in pod.get("tor2fab").and_then(Value::as_arr).unwrap_or(&[]) {
+            links.push(read_link(l, "tor2fab")?);
+        }
+    }
+    for l in doc
+        .get("fab2spine")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[])
+        .iter()
+    {
+        links.push(read_link(l, "fab2spine")?);
+    }
+
+    // Dense id check, then build.
+    let n = ids.len();
+    for (expect, (&id, _)) in ids.iter().enumerate() {
+        if id != expect {
+            return Err(TopoError::Schema(format!(
+                "node ids must be dense 0..{n}, missing {expect}"
+            )));
+        }
+    }
+    let mut b = TopologyBuilder::new("cluster");
+    for (&id, &kind) in &ids {
+        b.node_with_id(id, kind);
+    }
+    for l in links {
+        if !ids.contains_key(&l.a) {
+            return Err(TopoError::Schema(format!("link references undeclared node {}", l.a)));
+        }
+        if !ids.contains_key(&l.b) {
+            return Err(TopoError::Schema(format!("link references undeclared node {}", l.b)));
+        }
+        b.link(l.a, l.b, l.bandwidth_bps, l.delay_s)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn fattree_round_trips_through_the_cluster_schema() {
+        let t = zoo::fattree(4).unwrap();
+        let text = to_cluster_json(&t).unwrap();
+        let back = from_cluster_json(&text).unwrap();
+        assert_eq!(back.node_count(), t.node_count());
+        assert_eq!(back.link_count(), t.link_count());
+        for v in 0..t.node_count() {
+            assert_eq!(back.kind(v), t.kind(v), "kind of node {v}");
+        }
+        // Second serialization is byte-stable.
+        assert_eq!(to_cluster_json(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn flat_has_no_cluster_form() {
+        assert!(matches!(
+            to_cluster_json(&zoo::flat(4)),
+            Err(TopoError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn parser_reports_positions_and_schema_errors() {
+        assert!(matches!(
+            from_cluster_json("{\"pods\": [nonsense]}"),
+            Err(TopoError::Json(_, _))
+        ));
+        let twice = r#"{"pods": [{"fabs": [{"id": 0, "kind": "Switch"},
+                                    {"id": 0, "kind": "Switch"}],
+                          "tor2fab": [], "racks": []}],
+               "planes": [], "fab2spine": []}"#;
+        assert!(matches!(from_cluster_json(twice), Err(TopoError::Schema(_))));
+    }
+
+    #[test]
+    fn tiny_cluster_shape_parses() {
+        // A hand-written two-rack pod in the exact TINY_CLUSTER style
+        // (delay in ns, kinds Host/Switch, explicit dense ids).
+        let text = r#"{
+  "fab2spine": [
+    {"a": 1, "b": 0, "bandwidth": 40000000000, "delay": 1000}
+  ],
+  "planes": [[{"id": 0, "kind": "Switch"}]],
+  "pods": [
+    {
+      "fabs": [{"id": 1, "kind": "Switch"}],
+      "tor2fab": [{"a": 2, "b": 1, "bandwidth": 40000000000, "delay": 1000}],
+      "racks": [
+        {
+          "host2tor": [
+            {"a": 3, "b": 2, "bandwidth": 10000000000, "delay": 1000},
+            {"a": 4, "b": 2, "bandwidth": 10000000000, "delay": 1000}
+          ],
+          "hosts": [{"id": 3, "kind": "Host"}, {"id": 4, "kind": "Host"}],
+          "tor": {"id": 2, "kind": "Switch"}
+        }
+      ]
+    }
+  ]
+}"#;
+        let t = from_cluster_json(text).unwrap();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.hosts(), vec![3, 4]);
+        assert_eq!(t.kind(0), NodeKind::Spine);
+        assert_eq!(t.kind(2), NodeKind::Tor);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.link(0).bandwidth_bps, 10e9);
+        assert!((t.link(0).delay_s - 1e-6).abs() < 1e-18);
+    }
+}

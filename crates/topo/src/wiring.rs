@@ -1,0 +1,218 @@
+//! Wiring a topology onto a `netsim` fabric: seed-deterministic
+//! placement of fabric endpoints onto topology hosts, capacity
+//! installation, and routed flow admission.
+//!
+//! The **flat-equivalence contract** (DESIGN.md §12) lives here: a
+//! flat (linkless) topology makes [`Wiring::install`] a no-op and
+//! every route [`LinkRoute::EMPTY`], so a campaign run through a flat
+//! wiring is *byte-identical* to one that never heard of topologies.
+
+use crate::ecmp::EcmpRouter;
+use crate::model::{TopoError, Topology};
+use netsim::fabric::Fabric;
+use netsim::rng::derive_seed;
+use netsim::shaper::Shaper;
+use netsim::{FlowId, FlowSpec, LinkRoute, SimRng};
+
+/// Stable label mixing the placement seed away from other consumers of
+/// the same campaign seed (ASCII `"placemnt"`).
+const PLACEMENT_LABEL: u64 = 0x706c_6163_656d_6e74;
+
+/// A topology bound to a fabric's endpoint space: which host each
+/// fabric node occupies, and how its flows are routed and spread.
+#[derive(Debug, Clone)]
+pub struct Wiring {
+    topo: Topology,
+    router: EcmpRouter,
+    placement: Vec<usize>,
+}
+
+impl Wiring {
+    /// Place `n_endpoints` fabric nodes onto `topo`'s hosts — a
+    /// Fisher–Yates shuffle of the host list under `placement_seed`,
+    /// truncated to `n_endpoints` — and precompute ECMP paths hashed
+    /// under `ecmp_seed`. Errors if the topology has fewer hosts than
+    /// endpoints.
+    pub fn new(
+        topo: Topology,
+        n_endpoints: usize,
+        ecmp_seed: u64,
+        placement_seed: u64,
+    ) -> Result<Wiring, TopoError> {
+        let mut hosts = topo.hosts();
+        if hosts.len() < n_endpoints {
+            return Err(TopoError::Schema(format!(
+                "topology {:?} has {} hosts, campaign needs {n_endpoints}",
+                topo.name(),
+                hosts.len()
+            )));
+        }
+        let mut rng = SimRng::new(derive_seed(placement_seed, PLACEMENT_LABEL));
+        rng.shuffle(&mut hosts);
+        hosts.truncate(n_endpoints);
+        let router = EcmpRouter::new(&topo, ecmp_seed)?;
+        Ok(Wiring {
+            topo,
+            router,
+            placement: hosts,
+        })
+    }
+
+    /// The identity placement (endpoint `i` on host `i` in host-id
+    /// order) — what `placement_seed` cannot reach by shuffling but
+    /// tests and docs want as a fixed frame of reference.
+    pub fn identity(topo: Topology, n_endpoints: usize, ecmp_seed: u64) -> Result<Wiring, TopoError> {
+        let mut hosts = topo.hosts();
+        if hosts.len() < n_endpoints {
+            return Err(TopoError::Schema(format!(
+                "topology {:?} has {} hosts, campaign needs {n_endpoints}",
+                topo.name(),
+                hosts.len()
+            )));
+        }
+        hosts.truncate(n_endpoints);
+        let router = EcmpRouter::new(&topo, ecmp_seed)?;
+        Ok(Wiring {
+            topo,
+            router,
+            placement: hosts,
+        })
+    }
+
+    /// This wiring with a fresh placement shuffle under
+    /// `placement_seed`, reusing the precomputed ECMP paths —
+    /// placement fleets reshuffle per repetition without
+    /// re-enumerating every host-pair path set. `reseat(s)` equals
+    /// `Wiring::new(topo, n, ecmp_seed, s)` placement-for-placement.
+    pub fn reseat(&self, placement_seed: u64) -> Wiring {
+        let mut hosts = self.topo.hosts();
+        let mut rng = SimRng::new(derive_seed(placement_seed, PLACEMENT_LABEL));
+        rng.shuffle(&mut hosts);
+        hosts.truncate(self.placement.len());
+        Wiring {
+            topo: self.topo.clone(),
+            router: self.router.clone(),
+            placement: hosts,
+        }
+    }
+
+    /// Install the topology's directed link capacities on the fabric.
+    /// A flat topology installs nothing at all — the fabric stays
+    /// bitwise the flat fabric (no capacity vector, no epoch bump, no
+    /// perf counters).
+    pub fn install<S: Shaper>(&self, fabric: &mut Fabric<S>) {
+        if self.topo.is_flat() {
+            return;
+        }
+        fabric.set_link_caps(self.topo.directed_caps());
+    }
+
+    /// Admit a flow through the wiring: resolve the endpoint hosts,
+    /// spread over the ECMP set keyed by the flow id the fabric is
+    /// about to assign, and start it routed. On a flat topology this
+    /// is exactly `fabric.start_flow(spec)`.
+    pub fn start_flow<S: Shaper>(&self, fabric: &mut Fabric<S>, spec: FlowSpec) -> FlowId {
+        let route = self.route_for(spec.src, spec.dst, fabric.next_flow_id_hint());
+        fabric.start_flow_routed(spec, route)
+    }
+
+    /// The route a flow between fabric endpoints would take with the
+    /// given flow label (without starting it).
+    pub fn route_for(&self, src: usize, dst: usize, flow_label: u64) -> LinkRoute {
+        self.router
+            .route(self.placement[src], self.placement[dst], flow_label)
+    }
+
+    /// The topology host a fabric endpoint is placed on.
+    pub fn host_of(&self, endpoint: usize) -> usize {
+        self.placement[endpoint]
+    }
+
+    /// Endpoint count this wiring was built for.
+    pub fn endpoints(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Whether this wiring constrains nothing (flat contract active).
+    pub fn is_flat(&self) -> bool {
+        self.topo.is_flat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use netsim::shaper::StaticShaper;
+    use netsim::units::gbps;
+
+    fn fabric(n: usize) -> Fabric<StaticShaper> {
+        let mut f = Fabric::new();
+        for _ in 0..n {
+            f.add_node(StaticShaper::new(gbps(100.0)), f64::INFINITY);
+        }
+        f
+    }
+
+    #[test]
+    fn placement_is_seeded_and_injective() {
+        let w1 = Wiring::new(zoo::fattree(4).unwrap(), 8, 1, 77).unwrap();
+        let w2 = Wiring::new(zoo::fattree(4).unwrap(), 8, 1, 77).unwrap();
+        let w3 = Wiring::new(zoo::fattree(4).unwrap(), 8, 1, 78).unwrap();
+        let p1: Vec<usize> = (0..8).map(|e| w1.host_of(e)).collect();
+        let p2: Vec<usize> = (0..8).map(|e| w2.host_of(e)).collect();
+        let p3: Vec<usize> = (0..8).map(|e| w3.host_of(e)).collect();
+        assert_eq!(p1, p2, "same seed, same placement");
+        assert_ne!(p1, p3, "different seed respreads");
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "no two endpoints share a host");
+        // reseat(s) is exactly Wiring::new(.., s)'s placement.
+        let reseated: Vec<usize> = (0..8).map(|e| w1.reseat(78).host_of(e)).collect();
+        assert_eq!(reseated, p3);
+    }
+
+    #[test]
+    fn flat_wiring_is_a_no_op_on_the_fabric() {
+        let w = Wiring::new(zoo::flat(4), 4, 1, 2).unwrap();
+        let mut fab = fabric(4);
+        w.install(&mut fab);
+        assert_eq!(fab.link_count(), 0);
+        let id = w.start_flow(&mut fab, FlowSpec::new(0, 1, 1e12));
+        fab.step(0.01);
+        assert!(fab.flow_last_rate(id).unwrap() > 0.0);
+        let perf = fab.perf();
+        assert_eq!(perf.link_recomputes + perf.link_cache_hits, 0);
+    }
+
+    #[test]
+    fn routed_incast_is_bottlenecked_by_the_access_link() {
+        // 4 endpoints on a star: 3 senders into endpoint 0 share its
+        // single 10 Gbps host link even though shapers allow 100 Gbps.
+        let w = Wiring::identity(zoo::star(4).unwrap(), 4, 1).unwrap();
+        let mut fab = fabric(4);
+        w.install(&mut fab);
+        let ids: Vec<FlowId> = (1..4)
+            .map(|s| w.start_flow(&mut fab, FlowSpec::new(s, 0, 1e12)))
+            .collect();
+        fab.step(0.01);
+        for id in ids {
+            let r = fab.flow_last_rate(id).unwrap();
+            assert!(
+                (r - zoo::HOST_BPS / 3.0).abs() < 1.0,
+                "rate {r}, want fair third of the access link"
+            );
+        }
+    }
+
+    #[test]
+    fn too_small_a_topology_is_rejected() {
+        assert!(Wiring::new(zoo::star(4).unwrap(), 8, 1, 2).is_err());
+    }
+}

@@ -232,4 +232,53 @@ cargo test -q --release --offline -p journal --test prop_journal
 cargo test -q --release --offline -p measure --test journaled_fleet
 echo "OK: killed campaign resumes to a byte-identical report; bad resumes fail loudly"
 
+echo "== topology: flat campaign byte-identical to the topology-less path =="
+# The flat-equivalence contract (DESIGN.md §12): wiring a fabric with
+# the flat (linkless) topology must be invisible. `run --topology flat`
+# and a plain `run` must print byte-identical reports — on each of the
+# three stepping engines and at 1 and 4 workers. A fat-tree run on the
+# same seed must engage the per-link water-filling allocator (its
+# report footer shows a live link cache instead of the flat marker),
+# and the randomized property suite pits the standalone allocator,
+# ECMP replay, flat wiring, and the JSON codec against their reference
+# contracts.
+topo_dir=$(mktemp -d)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a" "$fast_a"; rm -rf "$wal" "$topo_dir"' EXIT
+topo_run="cargo run -q --release --offline --bin cloud-repro -- run \
+  --cloud gce-8 --workload q65 --reps 5 --nodes 16 --seed 11"
+for path in event fast reference; do
+  $topo_run --fabric-path "$path" > "$topo_dir/plain_$path.out"
+  $topo_run --fabric-path "$path" --topology flat > "$topo_dir/flat_$path.out"
+  if ! diff -u "$topo_dir/plain_$path.out" "$topo_dir/flat_$path.out" > /dev/null; then
+    echo "FAIL: --topology flat differs from the topology-less run ($path engine):" >&2
+    diff -u "$topo_dir/plain_$path.out" "$topo_dir/flat_$path.out" >&2 | head -20
+    exit 1
+  fi
+done
+REPRO_JOBS=1 $topo_run --topology flat > "$topo_dir/flat_j1.out"
+REPRO_JOBS=4 $topo_run --topology flat > "$topo_dir/flat_j4.out"
+REPRO_JOBS=4 $topo_run > "$topo_dir/plain_j4.out"
+if ! diff -u "$topo_dir/flat_j1.out" "$topo_dir/flat_j4.out" > /dev/null; then
+  echo "FAIL: flat-topology run differs between 1 and 4 workers:" >&2
+  diff -u "$topo_dir/flat_j1.out" "$topo_dir/flat_j4.out" >&2 | head -20
+  exit 1
+fi
+if ! diff -u "$topo_dir/flat_j4.out" "$topo_dir/plain_j4.out" > /dev/null; then
+  echo "FAIL: flat and topology-less runs differ on 4 workers:" >&2
+  diff -u "$topo_dir/flat_j4.out" "$topo_dir/plain_j4.out" >&2 | head -20
+  exit 1
+fi
+$topo_run --topology fattree4 > "$topo_dir/tree.out"
+if ! grep -q "link cache [0-9]" "$topo_dir/tree.out"; then
+  echo "FAIL: fat-tree run did not engage the per-link allocator:" >&2
+  tail -1 "$topo_dir/tree.out" >&2
+  exit 1
+fi
+if diff -u "$topo_dir/tree.out" "$topo_dir/flat_event.out" > /dev/null; then
+  echo "FAIL: fat-tree run is identical to the flat one (topology inert)" >&2
+  exit 1
+fi
+cargo test -q --release --offline -p topo --test prop_topo
+echo "OK: flat topology is byte-invisible; fat-tree engages the link allocator"
+
 echo "== verify.sh: all gates passed =="

@@ -17,7 +17,7 @@
 
 use cloud_repro::cli::{
     cloud_by_name, fabric_path_by_name, get_f64, get_jobs, get_u64, parse_flags, pattern_by_name,
-    workload_by_name,
+    topology_by_name, workload_by_name,
 };
 use cloud_repro::prelude::*;
 use netsim::units::hours;
@@ -38,6 +38,11 @@ fn cmd_list() {
     }
     println!();
     println!("patterns: full-speed 10-30 5-30");
+    print!("topologies:");
+    for name in topo::zoo::names() {
+        print!(" {name}");
+    }
+    println!();
 }
 
 fn cmd_campaign(flags: &BTreeMap<String, String>) -> Result<(), String> {
@@ -299,8 +304,16 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
             None => netsim::StepPath::Event,
         }
     };
+    // A flat topology is byte-identical to passing no `--topology` at
+    // all (the flat-equivalence contract, DESIGN.md §12); verify.sh
+    // diffs the two invocations, so flat must not mark the header.
+    let placement_seed = get_u64(flags, "placement-seed", seed)?;
+    let topology = match flags.get("topology") {
+        Some(name) => Some(topology_by_name(name, nodes)?),
+        None => None,
+    };
     println!(
-        "running {} x{reps} on {nodes}x {} {} (fresh VMs per run){}",
+        "running {} x{reps} on {nodes}x {} {} (fresh VMs per run){}{}",
         job.name,
         cloud.provider.name(),
         cloud.instance_type,
@@ -308,17 +321,26 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
             netsim::StepPath::Event => "",
             netsim::StepPath::Fast => " [fast fabric path]",
             netsim::StepPath::Reference => " [reference fabric path]",
+        },
+        match &topology {
+            Some(t) if !t.is_flat() => format!(" [topology {}]", t.name()),
+            _ => String::new(),
         }
     );
-    let samples: Vec<f64> = (0..reps)
-        .map(|rep| {
-            let s = netsim::rng::derive_seed(seed, rep as u64);
-            let mut cluster = bigdata::Cluster::from_profile(&cloud, nodes, 16, s);
-            cluster.fabric_mut().force_path(path);
-            bigdata::run_job(&mut cluster, &job, s).duration_s
-        })
-        .collect();
-    let report = MeasurementReport::new(&format!("{} runtime [s]", job.name), &samples);
+    let fleet = measure::run_placement_fleet(
+        &cloud,
+        &job,
+        nodes,
+        16,
+        reps,
+        seed,
+        topology.as_ref(),
+        placement_seed,
+        path,
+    )
+    .map_err(|e| e.to_string())?;
+    let report = MeasurementReport::new(&format!("{} runtime [s]", job.name), &fleet.durations_s)
+        .with_fabric_perf(fleet.fabric_perf);
     print!("{}", report.render());
     Ok(())
 }
@@ -411,6 +433,8 @@ fn usage() {
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
     println!("  run --cloud C --workload W [--reps N] [--nodes N] [--fabric-path event|fast|reference]");
+    println!("      [--topology T] [--placement-seed S]   place nodes on a datacenter");
+    println!("      topology with ECMP spreading; re-placed per repetition");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
     println!("  detlint [--root DIR] [--json]      lint against the determinism contract");

@@ -6,6 +6,7 @@
 use repro_core::bigdata::{self, workloads};
 use repro_core::clouds;
 use repro_core::netsim::{StepPath, TrafficPattern};
+use repro_core::topo;
 use std::collections::BTreeMap;
 
 /// Parse `--key value` / `--flag` pairs into a map.
@@ -91,6 +92,14 @@ pub fn pattern_by_name(name: &str) -> Result<TrafficPattern, String> {
             ))
         }
     })
+}
+
+/// Resolve a `--topology` name against the topo zoo, sized to hold at
+/// least `nodes` hosts: `flat` (the default linkless model —
+/// byte-identical to not passing `--topology` at all), `star`,
+/// `fattree<k>` (e.g. `fattree4`), `oversub<ratio>` (e.g. `oversub2`).
+pub fn topology_by_name(name: &str, nodes: usize) -> Result<topo::Topology, String> {
+    topo::zoo::by_name(name, nodes).map_err(|e| e.to_string())
 }
 
 /// Resolve a fabric stepping-engine name (the `--fabric-path` flag):
@@ -226,6 +235,16 @@ mod tests {
             let f = parse_flags(&args(&["--jobs", bad])).unwrap();
             assert!(get_jobs(&f).is_err(), "--jobs {bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn resolves_topologies() {
+        assert!(topology_by_name("flat", 12).unwrap().is_flat());
+        assert_eq!(topology_by_name("fattree4", 32).unwrap().hosts().len(), 32);
+        assert!(topology_by_name("oversub2", 12).unwrap().hosts().len() >= 12);
+        assert!(topology_by_name("star", 4).is_ok());
+        assert!(topology_by_name("torus", 4).is_err());
+        assert!(topology_by_name("fattree3", 4).is_err());
     }
 
     #[test]

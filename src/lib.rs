@@ -35,6 +35,7 @@ pub mod prelude {
     pub use repro_core::measure;
     pub use repro_core::netsim;
     pub use repro_core::survey;
+    pub use repro_core::topo;
     pub use repro_core::vstats;
     pub use repro_core::{
         audit, recommend_repetitions, ExhaustionNote, ExperimentDesign, Finding,
