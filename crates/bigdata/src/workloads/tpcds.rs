@@ -67,7 +67,7 @@ pub fn query(n: u32) -> JobSpec {
     let &(_, wall, shuffle) = PROFILE
         .iter()
         .find(|(q, _, _)| *q == n)
-        // detlint:allow(D5) -- documented API contract: panics for queries outside the Figure 17 subset
+        // detlint:allow(D5, D11) -- documented API contract: panics for queries outside the Figure 17 subset; campaign specs are validated against the subset before any fleet starts
         .unwrap_or_else(|| panic!("query {n} not in the Figure 17 subset"));
     let scan_mean = wall * SCAN_FRACTION / WAVE_FACTOR;
     let agg_mean = wall * (1.0 - SCAN_FRACTION) / WAVE_FACTOR;

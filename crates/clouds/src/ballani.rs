@@ -40,7 +40,7 @@ pub fn distribution(label: char) -> QuantileDist {
     let row = PERCENTILES_MBPS
         .iter()
         .find(|(l, _)| *l == label)
-        // detlint:allow(D5) -- documented API contract: panics for labels outside A..=H
+        // detlint:allow(D5, D11) -- documented API contract: panics for labels outside A..=H; cloud labels come from the static catalog, never from campaign input
         .unwrap_or_else(|| panic!("unknown Ballani cloud {label:?}"));
     let p = row.1;
     QuantileDist::from_box(mbps(p[0]), mbps(p[1]), mbps(p[2]), mbps(p[3]), mbps(p[4]))

@@ -2,25 +2,47 @@
 //! hermeticity linter.
 //!
 //! ```text
-//! detlint [--root DIR] [--json]
+//! detlint [--root DIR] [--json] [--rule D9,D10] [--stats]
+//!         [--no-cache | --cache-dir DIR]
+//! detlint --explain D11
 //! ```
 //!
 //! Exit codes: `0` clean (warn-tier findings allowed), `1` deny-tier
 //! findings present, `2` usage or I/O error. The JSON-lines output is
-//! sorted and byte-stable across runs, so CI can diff it.
+//! sorted and byte-stable across runs — warm-cache and cold-cache runs
+//! included, which `scripts/verify.sh` enforces with a byte diff.
+//!
+//! By default the incremental facts cache lives at
+//! `<root>/target/detlint-cache`; `--no-cache` analyzes from scratch
+//! without reading or writing it. `--stats` reports cache
+//! effectiveness on stderr so it never perturbs the diffable report.
 
-use detlint::{lint_workspace, render_human, render_json_lines, tally};
+use detlint::rules::ALL_RULES;
+use detlint::{
+    lint_workspace, lint_workspace_cached, render_human, render_json_lines, tally, CacheStats,
+    Finding, RuleId,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Options {
     root: PathBuf,
     json: bool,
+    rules: Option<Vec<RuleId>>,
+    stats: bool,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        rules: None,
+        stats: false,
+        no_cache: false,
+        cache_dir: None,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,29 +50,110 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let Some(dir) = args.get(i + 1) else {
                     return Err("--root wants a directory".to_string());
                 };
-                root = PathBuf::from(dir);
+                opts.root = PathBuf::from(dir);
                 i += 2;
             }
             "--json" => {
-                json = true;
+                opts.json = true;
                 i += 1;
+            }
+            "--rule" => {
+                let Some(list) = args.get(i + 1) else {
+                    return Err("--rule wants a comma-separated rule list (e.g. D9,D10)".to_string());
+                };
+                let mut rules = Vec::new();
+                for name in list.split(',') {
+                    let name = name.trim();
+                    match RuleId::parse(name) {
+                        Some(r) => rules.push(r),
+                        None => return Err(format!("unknown rule {name:?}\n{}", usage())),
+                    }
+                }
+                opts.rules = Some(rules);
+                i += 2;
+            }
+            "--stats" => {
+                opts.stats = true;
+                i += 1;
+            }
+            "--no-cache" => {
+                opts.no_cache = true;
+                i += 1;
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.get(i + 1) else {
+                    return Err("--cache-dir wants a directory".to_string());
+                };
+                opts.cache_dir = Some(PathBuf::from(dir));
+                i += 2;
             }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
-    Ok(Options { root, json })
+    if opts.no_cache && opts.cache_dir.is_some() {
+        return Err("--no-cache and --cache-dir are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+/// `--explain` text: id, tier, one-liner, then the full rationale.
+fn explain(rule: RuleId) -> String {
+    format!(
+        "{} ({}): {}\n\n{}",
+        rule.as_str(),
+        rule.severity().as_str(),
+        rule.summary(),
+        rule.rationale()
+    )
 }
 
 fn usage() -> String {
-    "usage: detlint [--root DIR] [--json]\n\
-     lints the workspace at DIR (default .) against the determinism &\n\
-     hermeticity contract (rules D1-D7); exits 1 on deny-tier findings"
-        .to_string()
+    let mut rules: String = String::new();
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            rules.push_str(", ");
+        }
+        rules.push_str(r.as_str());
+    }
+    format!(
+        "usage: detlint [--root DIR] [--json] [--rule D9,D10] [--stats]\n\
+         \x20              [--no-cache | --cache-dir DIR]\n\
+         \x20      detlint --explain RULE\n\
+         lints the workspace at DIR (default .) against the determinism &\n\
+         hermeticity contract; exits 1 on deny-tier findings.\n\
+         rules: {rules}\n\
+         incremental facts cache: <root>/target/detlint-cache (--no-cache to skip)"
+    )
+}
+
+fn run(opts: &Options) -> Result<(Vec<Finding>, Option<CacheStats>), detlint::LintError> {
+    if opts.no_cache {
+        return Ok((lint_workspace(&opts.root)?, None));
+    }
+    let cache_dir = opts
+        .cache_dir
+        .clone()
+        .unwrap_or_else(|| opts.root.join("target").join("detlint-cache"));
+    let analysis = lint_workspace_cached(&opts.root, &cache_dir)?;
+    Ok((analysis.findings, Some(analysis.stats)))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--explain RULE` is a documentation query, not a lint run.
+    if let Some(i) = args.iter().position(|a| a == "--explain") {
+        let Some(name) = args.get(i + 1) else {
+            eprintln!("--explain wants a rule id (e.g. D11)");
+            return ExitCode::from(2);
+        };
+        let Some(rule) = RuleId::parse(name) else {
+            eprintln!("unknown rule {name:?}\n{}", usage());
+            return ExitCode::from(2);
+        };
+        println!("{}", explain(rule));
+        return ExitCode::SUCCESS;
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -58,17 +161,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = match lint_workspace(&opts.root) {
-        Ok(f) => f,
+    let (mut findings, stats) = match run(&opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(wanted) = &opts.rules {
+        findings.retain(|f| wanted.contains(&f.rule));
+    }
     if opts.json {
         print!("{}", render_json_lines(&findings));
     } else {
         print!("{}", render_human(&findings));
+    }
+    if opts.stats {
+        if let Some(s) = stats {
+            eprintln!(
+                "detlint: {} files, {} cache hits, {} parsed",
+                s.files, s.hits, s.parsed
+            );
+        } else {
+            eprintln!("detlint: cache disabled");
+        }
     }
     if tally(&findings).deny > 0 {
         ExitCode::from(1)

@@ -1,0 +1,412 @@
+//! Incremental analysis cache: per-file parse + lint facts keyed by a
+//! content fingerprint.
+//!
+//! Parsing every workspace file on every `detlint` run is wasted work
+//! when a typical edit touches one or two files. The cache persists,
+//! per file, everything the cross-file passes need — the raw
+//! (pre-suppression) local findings, the suppression pragmas, and the
+//! call-graph facts — keyed by an FNV-1a fingerprint of the file's
+//! bytes. On a warm run only changed files are re-parsed; the
+//! cross-file analyses (D11 reachability, suppression, P0/P1 pragma
+//! hygiene) are recomputed fresh from the cached facts every run, so a
+//! warm report is byte-identical to a cold one *by construction* — the
+//! cache can change how fast the answer arrives, never what it is.
+//!
+//! Persistence is a single tab-separated text file written with the
+//! workspace's atomic-rename discipline (the documented D8 exemption:
+//! purely derived data, and a torn or stale cache only costs a
+//! re-parse). Any decode problem — missing file, schema mismatch,
+//! truncated record — silently yields an empty cache.
+
+use crate::engine::Finding;
+use crate::graph::FnFact;
+use crate::parser::CallSite;
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Schema tag; bump whenever [`FileFacts`] encoding *or the meaning of
+/// any cached fact* changes (new rule, changed pattern set), so stale
+/// caches self-invalidate.
+const SCHEMA: &str = "detlint-cache-v1 rules=D1-D11,P0,P1";
+
+/// FNV-1a 64-bit hash — the workspace's standard content fingerprint.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A suppression pragma with the context the hygiene passes need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaFact {
+    /// 1-based line of the pragma comment.
+    pub line: usize,
+    /// Rule names as written.
+    pub rules: Vec<String>,
+    /// Whether a `-- reason` clause is present.
+    pub has_reason: bool,
+    /// Whether the pragma sits inside a `#[cfg(test)]` region (P1
+    /// skips those: test-only pragmas guard code the linter ignores).
+    pub in_test: bool,
+}
+
+/// Everything the engine derives from one Rust file's bytes. A pure
+/// function of the source, which is what makes it cacheable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileFacts {
+    /// FNV-1a fingerprint of the source bytes.
+    pub fingerprint: u64,
+    /// Raw file-local findings (token rules + D9/D10), *before*
+    /// suppression — suppression is recomputed each run so pragma
+    /// edits invalidate nothing.
+    pub raw: Vec<Finding>,
+    /// Suppression pragmas in the file.
+    pub pragmas: Vec<PragmaFact>,
+    /// Call-graph facts for every fn in the file.
+    pub fns: Vec<FnFact>,
+    /// `use` aliases for call resolution.
+    pub imports: Vec<(String, String)>,
+}
+
+/// Cache-effectiveness counters for one workspace run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Rust files considered.
+    pub files: usize,
+    /// Files served from the cache (fingerprint matched).
+    pub hits: usize,
+    /// Files re-parsed (cold, changed, or new).
+    pub parsed: usize,
+}
+
+/// The on-disk cache: rel-path → facts, in sorted order.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Per-file facts keyed by workspace-relative path.
+    pub files: BTreeMap<String, FileFacts>,
+}
+
+impl Cache {
+    /// Look up facts for `rel` valid against `fingerprint`.
+    pub fn get(&self, rel: &str, fingerprint: u64) -> Option<&FileFacts> {
+        self.files
+            .get(rel)
+            .filter(|f| f.fingerprint == fingerprint)
+    }
+
+    /// Load a cache file; any problem yields an empty cache.
+    pub fn load(path: &Path) -> Cache {
+        match fs::read_to_string(path) {
+            Ok(text) => decode(&text).unwrap_or_default(),
+            Err(_) => Cache::default(),
+        }
+    }
+
+    /// Persist atomically into `dir` (created if missing): write the
+    /// encoded cache to `facts.tsv.tmp`, then rename over `facts.tsv`.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let tmp = dir.join("facts.tsv.tmp");
+        let dst = dir.join("facts.tsv");
+        fs::write(&tmp, encode(self))?;
+        fs::rename(&tmp, &dst)
+    }
+
+    /// The canonical cache file inside `dir`, for loading.
+    pub fn file_in(dir: &Path) -> std::path::PathBuf {
+        dir.join("facts.tsv")
+    }
+}
+
+/// Escape a field for the tab-separated encoding.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`esc`]; `None` on a dangling escape.
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn encode(cache: &Cache) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("detlint-cache\t{:016x}\n", fnv64(SCHEMA.as_bytes())));
+    for (rel, f) in &cache.files {
+        out.push_str(&format!("file\t{}\t{:016x}\n", esc(rel), f.fingerprint));
+        for r in &f.raw {
+            out.push_str(&format!(
+                "raw\t{}\t{}\t{}\n",
+                r.line,
+                r.rule.as_str(),
+                esc(&r.message)
+            ));
+        }
+        for p in &f.pragmas {
+            out.push_str(&format!(
+                "pragma\t{}\t{}\t{}\t{}\n",
+                p.line,
+                p.in_test as u8,
+                p.has_reason as u8,
+                esc(&p.rules.join(","))
+            ));
+        }
+        for (local, full) in &f.imports {
+            out.push_str(&format!("import\t{}\t{}\n", esc(local), esc(full)));
+        }
+        for fun in &f.fns {
+            out.push_str(&format!(
+                "fn\t{}\t{}\t{}\t{}\n",
+                esc(&fun.qname),
+                esc(&fun.name),
+                fun.line,
+                fun.is_method as u8
+            ));
+            for c in &fun.calls {
+                out.push_str(&format!(
+                    "call\t{}\t{}\t{}\n",
+                    c.line,
+                    c.is_method as u8,
+                    esc(&c.path.join(","))
+                ));
+            }
+            for (line, token) in &fun.panics {
+                out.push_str(&format!("panic\t{}\t{}\n", line, esc(token)));
+            }
+        }
+    }
+    out
+}
+
+fn decode(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut hf = header.split('\t');
+    if hf.next()? != "detlint-cache" {
+        return None;
+    }
+    if hf.next()? != format!("{:016x}", fnv64(SCHEMA.as_bytes())) {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(String, FileFacts)> = None;
+    for line in lines {
+        let mut f = line.split('\t');
+        let tag = f.next()?;
+        match tag {
+            "file" => {
+                if let Some((rel, facts)) = cur.take() {
+                    cache.files.insert(rel, facts);
+                }
+                let rel = unesc(f.next()?)?;
+                let fp = u64::from_str_radix(f.next()?, 16).ok()?;
+                cur = Some((
+                    rel,
+                    FileFacts {
+                        fingerprint: fp,
+                        ..FileFacts::default()
+                    },
+                ));
+            }
+            "raw" => {
+                let rel = cur.as_ref()?.0.clone();
+                let facts = &mut cur.as_mut()?.1;
+                let line_no: usize = f.next()?.parse().ok()?;
+                let rule = RuleId::parse(f.next()?)?;
+                let message = unesc(f.next()?)?;
+                facts.raw.push(Finding {
+                    file: rel,
+                    line: line_no,
+                    rule,
+                    severity: rule.severity(),
+                    message,
+                });
+            }
+            "pragma" => {
+                let facts = &mut cur.as_mut()?.1;
+                let line_no: usize = f.next()?.parse().ok()?;
+                let in_test = f.next()? == "1";
+                let has_reason = f.next()? == "1";
+                let rules_field = unesc(f.next()?)?;
+                let rules = if rules_field.is_empty() {
+                    Vec::new()
+                } else {
+                    rules_field.split(',').map(str::to_string).collect()
+                };
+                facts.pragmas.push(PragmaFact {
+                    line: line_no,
+                    rules,
+                    has_reason,
+                    in_test,
+                });
+            }
+            "import" => {
+                let facts = &mut cur.as_mut()?.1;
+                let local = unesc(f.next()?)?;
+                let full = unesc(f.next()?)?;
+                facts.imports.push((local, full));
+            }
+            "fn" => {
+                let facts = &mut cur.as_mut()?.1;
+                let qname = unesc(f.next()?)?;
+                let name = unesc(f.next()?)?;
+                let line_no: usize = f.next()?.parse().ok()?;
+                let is_method = f.next()? == "1";
+                facts.fns.push(FnFact {
+                    qname,
+                    name,
+                    line: line_no,
+                    is_method,
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "call" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: usize = f.next()?.parse().ok()?;
+                let is_method = f.next()? == "1";
+                let path_field = unesc(f.next()?)?;
+                let path = if path_field.is_empty() {
+                    Vec::new()
+                } else {
+                    path_field.split(',').map(str::to_string).collect()
+                };
+                fun.calls.push(CallSite {
+                    path,
+                    is_method,
+                    line: line_no,
+                });
+            }
+            "panic" => {
+                let fun = cur.as_mut()?.1.fns.last_mut()?;
+                let line_no: usize = f.next()?.parse().ok()?;
+                let token = unesc(f.next()?)?;
+                fun.panics.push((line_no, token));
+            }
+            _ => return None,
+        }
+    }
+    if let Some((rel, facts)) = cur.take() {
+        cache.files.insert(rel, facts);
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn sample() -> Cache {
+        let mut cache = Cache::default();
+        cache.files.insert(
+            "crates/demo/src/lib.rs".to_string(),
+            FileFacts {
+                fingerprint: 0xdead_beef,
+                raw: vec![Finding {
+                    file: "crates/demo/src/lib.rs".to_string(),
+                    line: 7,
+                    rule: RuleId::D5,
+                    severity: Severity::Deny,
+                    message: "`unwrap`: has\ttabs and\nnewlines \\ slashes".to_string(),
+                }],
+                pragmas: vec![PragmaFact {
+                    line: 6,
+                    rules: vec!["D5".to_string(), "D11".to_string()],
+                    has_reason: true,
+                    in_test: false,
+                }],
+                fns: vec![FnFact {
+                    qname: "demo::go".to_string(),
+                    name: "go".to_string(),
+                    line: 3,
+                    is_method: false,
+                    calls: vec![CallSite {
+                        path: vec!["exec".to_string(), "par_map".to_string()],
+                        is_method: false,
+                        line: 4,
+                    }],
+                    panics: vec![(7, "unwrap".to_string())],
+                }],
+                imports: vec![("par_map".to_string(), "exec::par_map".to_string())],
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let cache = sample();
+        let decoded = decode(&encode(&cache)).expect("decodes");
+        assert_eq!(decoded.files, cache.files);
+    }
+
+    #[test]
+    fn schema_mismatch_yields_empty() {
+        let mut text = encode(&sample());
+        text.replace_range(..text.find('\n').unwrap(), "detlint-cache\t0000000000000000");
+        assert!(decode(&text).is_none());
+    }
+
+    #[test]
+    fn truncated_record_yields_none() {
+        let text = encode(&sample());
+        // Cut at the last tab: the final record loses its last field.
+        let cut = text.rfind('\t').unwrap();
+        assert!(decode(&text[..cut]).is_none());
+    }
+
+    #[test]
+    fn get_requires_matching_fingerprint() {
+        let cache = sample();
+        assert!(cache.get("crates/demo/src/lib.rs", 0xdead_beef).is_some());
+        assert!(cache.get("crates/demo/src/lib.rs", 1).is_none());
+        assert!(cache.get("crates/other/src/lib.rs", 0xdead_beef).is_none());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("detlint_cache_{}_rt", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = sample();
+        cache.save(&dir).expect("save");
+        let loaded = Cache::load(&Cache::file_in(&dir));
+        assert_eq!(loaded.files, cache.files);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,15 +1,28 @@
-//! The linting engine: file walking, rule application, and suppression.
+//! The linting engine: file walking, rule application, suppression,
+//! and the workspace-level analysis pipeline.
 //!
 //! The engine is split so the property suite can lint in-memory
 //! snippets without touching a filesystem: [`lint_rust_source`] and
-//! [`lint_manifest_source`] take `(relative path, contents)` pairs, and
-//! [`lint_workspace`] merely walks the tree in a deterministic order
-//! and feeds them. All ordering is explicit (sorted paths, sorted
-//! findings), so two runs over the same tree produce byte-identical
-//! reports — the linter holds itself to the contract it enforces.
+//! [`lint_manifest_source`] take `(relative path, contents)` pairs and
+//! apply every *file-local* analysis (token rules, the D9/D10 dataflow
+//! rules, pragma suppression, P0). [`lint_workspace`] walks the tree
+//! in a deterministic order and adds the *cross-file* passes on top:
+//! D11 panic reachability over the whole-workspace call graph, and P1
+//! dead-pragma hygiene (which must see D11's results to know whether
+//! an allow(D11) pragma is live). [`lint_workspace_cached`] is the
+//! same analysis with per-file facts served from the incremental cache
+//! — cross-file passes always recompute, so its report is byte-equal
+//! to the uncached one by construction. All ordering is explicit
+//! (sorted paths, sorted findings), so two runs over the same tree
+//! produce byte-identical reports — the linter holds itself to the
+//! contract it enforces.
 
+use crate::cache::{fnv64, Cache, CacheStats, FileFacts, PragmaFact};
+use crate::flow;
+use crate::graph::{fn_facts, panic_reachability, GraphFile};
 use crate::lexer::{pragmas, scan};
 use crate::manifest;
+use crate::parser::parse;
 use crate::rules::{RuleId, Severity, TOKEN_RULES};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -62,16 +75,13 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
-/// Lint one Rust source file given its workspace-relative path.
-///
-/// Applies every token rule whose path scope covers `rel_path`, skips
-/// `#[cfg(test)]` regions, then applies suppression pragmas: a
-/// `detlint:allow(D5) -- reason` comment suppresses the named rules on its
-/// own line and the line directly below it. Pragmas without a reason,
-/// or naming unknown rules, surface as deny-tier `P0` findings.
-pub fn lint_rust_source(rel_path: &str, source: &str) -> Vec<Finding> {
+/// Derive every cacheable per-file fact from one Rust source: raw
+/// (pre-suppression) findings from the token rules and the D9/D10
+/// dataflow rules, the suppression pragmas, and the call-graph facts.
+/// A pure function of `(rel_path, source)` — the cache contract.
+pub fn compute_facts(rel_path: &str, source: &str) -> FileFacts {
     let scanned = scan(source);
-    let mut findings = Vec::new();
+    let mut raw = Vec::new();
 
     for rule in &TOKEN_RULES {
         if rule
@@ -87,7 +97,7 @@ pub fn lint_rust_source(rel_path: &str, source: &str) -> Vec<Finding> {
             }
             for pat in rule.patterns {
                 if pat.matches(code) {
-                    findings.push(Finding {
+                    raw.push(Finding {
                         file: rel_path.to_string(),
                         line: idx + 1,
                         rule: rule.id,
@@ -100,16 +110,89 @@ pub fn lint_rust_source(rel_path: &str, source: &str) -> Vec<Finding> {
         }
     }
 
-    // Suppression pass: collect (line, rule) pairs covered by pragmas,
-    // and police the pragmas themselves.
+    // Dataflow rules over the token-tree parse (which already skips
+    // `#[cfg(test)]` regions at the tokenizer).
+    let parsed = parse(&scanned, rel_path);
+    for f in &parsed.fns {
+        for (line, name) in flow::rng_aliasing(&f.body) {
+            raw.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: RuleId::D9,
+                severity: RuleId::D9.severity(),
+                message: format!("`{name}`: {}", RuleId::D9.summary()),
+            });
+        }
+        for (line, token) in flow::float_reductions(&f.body) {
+            raw.push(Finding {
+                file: rel_path.to_string(),
+                line,
+                rule: RuleId::D10,
+                severity: RuleId::D10.severity(),
+                message: format!("`{token}`: {}", RuleId::D10.summary()),
+            });
+        }
+    }
+    sort_dedup(&mut raw);
+
+    let pragma_facts = pragmas(&scanned)
+        .into_iter()
+        .map(|p| PragmaFact {
+            in_test: scanned.in_test.get(p.line - 1).copied().unwrap_or(false),
+            line: p.line,
+            rules: p.rules,
+            has_reason: p.has_reason,
+        })
+        .collect();
+
+    FileFacts {
+        fingerprint: fnv64(source.as_bytes()),
+        raw,
+        pragmas: pragma_facts,
+        fns: fn_facts(&parsed),
+        imports: parsed.imports,
+    }
+}
+
+/// Apply the pragma passes to one file's findings: emit P0 for
+/// malformed pragmas, emit P1 for dead ones (unless `skip_p1` — the
+/// file-local entry point cannot judge deadness for cross-file rules),
+/// then drop suppressed findings. `findings` holds the file's raw
+/// findings (local, plus D11 when called from the workspace pass).
+fn apply_pragmas(rel_path: &str, facts: &FileFacts, findings: &mut Vec<Finding>, emit_p1: bool) {
+    let raw_keys: BTreeSet<(usize, RuleId)> =
+        findings.iter().map(|f| (f.line, f.rule)).collect();
     let mut suppressed: BTreeSet<(usize, RuleId)> = BTreeSet::new();
-    for pragma in pragmas(&scanned) {
+    for pragma in &facts.pragmas {
         let mut ok = pragma.has_reason && !pragma.rules.is_empty();
+        // P1 judges only well-formed pragmas; malformed ones are P0's
+        // problem and get fixed (or deleted) before deadness matters.
+        let well_formed = ok
+            && pragma
+                .rules
+                .iter()
+                .all(|n| RuleId::parse(n).is_some());
         for name in &pragma.rules {
             match RuleId::parse(name) {
                 Some(rule) => {
                     suppressed.insert((pragma.line, rule));
                     suppressed.insert((pragma.line + 1, rule));
+                    // Dead-pragma hygiene: the rule it names must fire
+                    // (pre-suppression) somewhere in its two-line scope.
+                    if emit_p1
+                        && well_formed
+                        && !pragma.in_test
+                        && !raw_keys.contains(&(pragma.line, rule))
+                        && !raw_keys.contains(&(pragma.line + 1, rule))
+                    {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line: pragma.line,
+                            rule: RuleId::P1,
+                            severity: RuleId::P1.severity(),
+                            message: format!("`{}`: {}", rule.as_str(), RuleId::P1.summary()),
+                        });
+                    }
                 }
                 None => ok = false,
             }
@@ -133,7 +216,23 @@ pub fn lint_rust_source(rel_path: &str, source: &str) -> Vec<Finding> {
         }
     }
     findings.retain(|f| f.rule == RuleId::P0 || !suppressed.contains(&(f.line, f.rule)));
+}
 
+/// Lint one Rust source file given its workspace-relative path —
+/// every file-local analysis.
+///
+/// Applies the token rules and the D9/D10 dataflow rules, skips
+/// `#[cfg(test)]` regions, then applies suppression pragmas: an
+/// `allow(D5) -- reason` comment (with the `detlint:` marker prefix)
+/// suppresses the named rules on its own line and the line directly
+/// below it. Pragmas without a reason,
+/// or naming unknown rules, surface as deny-tier `P0` findings. The
+/// cross-file rules (D11 reachability, P1 dead-pragma hygiene) need
+/// the whole workspace and only run under [`lint_workspace`].
+pub fn lint_rust_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let facts = compute_facts(rel_path, source);
+    let mut findings = facts.raw.clone();
+    apply_pragmas(rel_path, &facts, &mut findings, false);
     sort_dedup(&mut findings);
     findings
 }
@@ -184,10 +283,39 @@ pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(files)
 }
 
-/// Lint the whole workspace rooted at `root`; findings come back fully
-/// sorted and deduplicated.
+/// Result of a workspace analysis: the findings plus cache counters.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, sorted and deduplicated.
+    pub findings: Vec<Finding>,
+    /// Cache effectiveness for the run (all-parsed when uncached).
+    pub stats: CacheStats,
+}
+
+/// Lint the whole workspace rooted at `root` — file-local rules plus
+/// the cross-file passes (D11 panic reachability, P1 dead-pragma
+/// hygiene). Findings come back fully sorted and deduplicated.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    Ok(analyze(root, None)?.findings)
+}
+
+/// [`lint_workspace`] with the incremental facts cache under
+/// `cache_dir`: unchanged files (by content fingerprint) are served
+/// from the cache, changed ones re-parsed, and the refreshed cache is
+/// persisted atomically. The report is byte-identical to the uncached
+/// analysis — only [`CacheStats`] differ.
+pub fn lint_workspace_cached(root: &Path, cache_dir: &Path) -> Result<Analysis, LintError> {
+    analyze(root, Some(cache_dir))
+}
+
+fn analyze(root: &Path, cache_dir: Option<&Path>) -> Result<Analysis, LintError> {
+    let old_cache = cache_dir
+        .map(|d| Cache::load(&Cache::file_in(d)))
+        .unwrap_or_default();
+    let mut new_cache = Cache::default();
+    let mut stats = CacheStats::default();
     let mut findings = Vec::new();
+
     for path in workspace_files(root)? {
         let source = fs::read_to_string(&path).map_err(|cause| LintError {
             path: path.clone(),
@@ -196,12 +324,68 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
         let rel = rel_path(root, &path);
         if rel.ends_with("Cargo.toml") {
             findings.extend(lint_manifest_source(&rel, &source));
-        } else {
-            findings.extend(lint_rust_source(&rel, &source));
+            continue;
         }
+        stats.files += 1;
+        let fingerprint = fnv64(source.as_bytes());
+        let facts = match old_cache.get(&rel, fingerprint) {
+            Some(hit) => {
+                stats.hits += 1;
+                hit.clone()
+            }
+            None => {
+                stats.parsed += 1;
+                compute_facts(&rel, &source)
+            }
+        };
+        new_cache.files.insert(rel, facts);
+    }
+
+    // Cross-file pass 1: D11 panic reachability over the workspace
+    // call graph. Recomputed from facts every run — never cached — so
+    // an edit to the measure crate re-judges reachability everywhere.
+    let graph_files: Vec<GraphFile<'_>> = new_cache
+        .files
+        .iter()
+        .map(|(rel, f)| GraphFile {
+            path: rel,
+            fns: &f.fns,
+            imports: &f.imports,
+        })
+        .collect();
+    let d11 = panic_reachability(&graph_files);
+
+    // Cross-file pass 2: per-file suppression + pragma hygiene, with
+    // D11 findings folded into each file's raw set so `allow(D11)`
+    // pragmas both suppress and count as live for P1.
+    for (rel, facts) in &new_cache.files {
+        let mut file_findings = facts.raw.clone();
+        for hit in d11.iter().filter(|h| h.file == *rel) {
+            file_findings.push(Finding {
+                file: hit.file.clone(),
+                line: hit.line,
+                rule: RuleId::D11,
+                severity: RuleId::D11.severity(),
+                message: format!(
+                    "`{}` via {}: {}",
+                    hit.token,
+                    hit.via,
+                    RuleId::D11.summary()
+                ),
+            });
+        }
+        apply_pragmas(rel, facts, &mut file_findings, true);
+        findings.extend(file_findings);
     }
     sort_dedup(&mut findings);
-    Ok(findings)
+
+    if let Some(dir) = cache_dir {
+        new_cache.save(dir).map_err(|cause| LintError {
+            path: dir.to_path_buf(),
+            cause,
+        })?;
+    }
+    Ok(Analysis { findings, stats })
 }
 
 /// Workspace-relative `/`-separated path for reports.

@@ -244,10 +244,12 @@ fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
 fn char_literal_len(chars: &[char], q: usize) -> Option<usize> {
     match chars.get(q + 1) {
         Some('\\') => {
-            // Escaped char: scan to the closing quote (handles '\n',
-            // '\'', '\u{1F600}').
-            let mut j = q + 2;
-            while j < chars.len() && j < q + 12 {
+            // Escaped char: the character at q+2 is the escaped payload
+            // and can itself be a quote (`'\''`) or a backslash
+            // (`'\\'`), so the closing-quote scan must start *after*
+            // it (handles '\n', '\'', '\\', '\u{10FFFF}').
+            let mut j = q + 3;
+            while j < chars.len() && j < q + 13 {
                 if chars[j] == '\'' {
                     return Some(j + 1 - q);
                 }
@@ -302,8 +304,10 @@ fn mark_test_regions(code: &[String]) -> Vec<bool> {
     in_test
 }
 
-/// A suppression pragma found in a comment — e.g. the doc-comment
-/// `detlint:allow(D1) -- doc example` right here parses as one.
+/// A suppression pragma found in a comment: the `detlint:` marker
+/// followed by `allow(rules) -- reason`. (This doc spells the two
+/// halves separately on purpose — joined, they would parse as a real
+/// pragma here, and rule P1 rejects pragmas that suppress nothing.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pragma {
     /// 1-based line the pragma appears on.
@@ -316,8 +320,9 @@ pub struct Pragma {
 
 /// Extract every suppression pragma from a scanned file's comments.
 ///
-/// Grammar: `detlint:allow(D1, D5) -- free-form reason`. The reason
-/// clause is mandatory for a clean lint (rule P0 fires without it).
+/// Grammar: the `detlint:` marker, then `allow(D1, D5) -- free-form
+/// reason`. The reason clause is mandatory for a clean lint (rule P0
+/// fires without it).
 pub fn pragmas(file: &ScannedFile) -> Vec<Pragma> {
     // Built by concatenation so the linter's own source never contains
     // the literal marker (grep-based CI checks would trip on it).
@@ -395,6 +400,61 @@ mod tests {
         // The '"' char literal must not open a string.
         assert!(f.code[0].contains("g(x)"));
         assert!(f.code[0].contains("<'a>"));
+    }
+
+    #[test]
+    fn escaped_quote_and_backslash_char_literals() {
+        // `'\''` and `'\\'` end on the quote *after* the escaped
+        // payload; the leftover quote must not leak into code state
+        // and swallow the rest of the line.
+        let f = scan("let a = '\\''; let b = '\\\\'; after(\"s\")\n");
+        assert!(f.code[0].contains("after("), "code: {:?}", f.code[0]);
+        assert!(!f.code[0].contains('s'), "string leaked: {:?}", f.code[0]);
+        assert!(f.code[0].contains("let b ="));
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        let f = scan("let x = b'a'; let y = b'\\n'; let z = b'\\''; tail()\n");
+        assert!(f.code[0].contains("tail()"), "code: {:?}", f.code[0]);
+        // The literal payloads are gone from code.
+        assert!(!f.code[0].contains("b'a'"));
+        // A byte-char containing a quote must not open a string.
+        assert!(f.comments[0].is_empty());
+    }
+
+    #[test]
+    fn lifetimes_survive_next_to_char_literals() {
+        let f = scan("fn f<'a>(x: &'a str) -> &'a str { let c = 'a'; g(x) }\n");
+        assert!(f.code[0].contains("<'a>"));
+        assert!(f.code[0].contains("&'a str"));
+        assert!(f.code[0].contains("g(x)"));
+        // The actual char literal is blanked.
+        assert!(!f.code[0].contains("= 'a'"));
+    }
+
+    #[test]
+    fn loop_labels_stay_code() {
+        let f = scan("'outer: loop { break 'outer; }\n");
+        assert!(f.code[0].contains("'outer: loop"));
+        assert!(f.code[0].contains("break 'outer;"));
+    }
+
+    #[test]
+    fn adjacent_raw_strings_each_close() {
+        let f = scan("join(r\"aa\", r#\"bb\"#, r\"cc\"); done()\n");
+        assert!(f.code[0].contains("done()"), "code: {:?}", f.code[0]);
+        for leak in ["aa", "bb", "cc"] {
+            assert!(!f.code[0].contains(leak), "leaked {leak}: {:?}", f.code[0]);
+        }
+    }
+
+    #[test]
+    fn nested_looking_raw_strings_close_on_their_own_hash_count() {
+        let f = scan("let s = r##\"outer r#\"inner\"# still\"##; after()\n");
+        assert!(f.code[0].contains("after()"), "code: {:?}", f.code[0]);
+        assert!(!f.code[0].contains("inner"));
+        assert!(!f.code[0].contains("still"));
     }
 
     #[test]

@@ -25,24 +25,48 @@
 //! | D5 | deny | `.unwrap()`/`.expect()`/`panic!`/`unreachable!` in library code |
 //! | D6 | warn | `.partial_cmp()` where `total_cmp` is mandated |
 //! | D7 | deny | non-workspace dependencies in any `Cargo.toml` |
+//! | D8 | deny | crash-unsafe persistence outside `crates/journal` |
+//! | D9 | deny | one RNG stream captured by multiple parallel tasks |
+//! | D10 | deny | float reduction over a source not proven order-stable |
+//! | D11 | deny | panic reachable from a campaign entry point (call graph) |
 //! | P0 | deny | suppression pragma without rules or a `-- reason` |
+//! | P1 | warn | suppression pragma whose rule no longer fires (dead) |
+//!
+//! D1–D8 and P0 are token/manifest rules over the blanked lexer
+//! output. D9 and D10 are dataflow rules over a std-only token-tree
+//! parse ([`parser`], [`flow`]); D11 walks a whole-workspace call
+//! graph ([`graph`]); P1 cross-checks every pragma against the raw
+//! (pre-suppression) findings. Workspace runs serve per-file facts
+//! from an incremental fingerprint-keyed cache ([`cache`]) — the
+//! cross-file passes recompute every run, so cached and uncached
+//! reports are byte-identical.
 //!
 //! False positives are handled at the site, in the source, with a
-//! scoped pragma: `detlint:allow(D5) -- reason` in a comment suppresses
-//! the named rules on that line and the next. The reason clause is
-//! mandatory (rule P0) so every exception documents itself.
+//! scoped pragma: `allow(D5) -- reason` after the `detlint:` marker in
+//! a comment suppresses the named rules on that line and the next. The
+//! reason clause is mandatory (rule P0) so every exception documents
+//! itself, and a pragma whose rule no longer fires is flagged as dead
+//! (rule P1) so exceptions cannot outlive their cause.
 //!
 //! The linter is self-applied: `scripts/verify.sh` runs it over the
 //! whole workspace as a tier-1 stage, and the crate's own test suite
 //! (`tests/self_apply.rs`) fails if any deny-tier finding exists —
 //! including in `detlint`'s own source.
 
+pub mod cache;
 pub mod engine;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
-pub use engine::{lint_manifest_source, lint_rust_source, lint_workspace, Finding, LintError};
+pub use cache::{fnv64, CacheStats};
+pub use engine::{
+    lint_manifest_source, lint_rust_source, lint_workspace, lint_workspace_cached, Analysis,
+    Finding, LintError,
+};
 pub use report::{render_human, render_json_lines, tally, Tally};
 pub use rules::{RuleId, Severity};

@@ -1,0 +1,706 @@
+//! Token-tree parsing on top of the blanking lexer.
+//!
+//! The lexer classifies characters (code vs comment vs literal); this
+//! module turns the surviving code into real structure: a flat token
+//! stream, balanced delimiter trees, and extracted items — `fn`
+//! definitions (free and `impl`/`trait` methods) with their bodies,
+//! `use` imports, and `mod` nesting — each carrying 1-based line
+//! spans. The analysis rules (D9–D11) and the cross-crate call graph
+//! are built from these items, not from raw lines, so a chain that
+//! spans lines or a closure nested three groups deep is no longer
+//! invisible the way it was to the purely line-oriented v1 rules.
+//!
+//! The grammar subset is deliberately small (DESIGN.md §13): items,
+//! paths, call forms, and closures. Everything else — struct bodies,
+//! expressions we do not analyze, macro definitions — is tolerated and
+//! skipped without error. The parser must never fail: on malformed
+//! input it degrades to fewer extracted facts, never to a crash, so
+//! the linter stays usable mid-edit.
+
+use crate::lexer::{is_ident_char, ScannedFile};
+
+/// A lexical token (line numbers ride alongside in the stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal, suffix and fraction included (`1.5e8`, `0u64`).
+    Num(String),
+    /// Lifetime or loop label (`'a`), without the quote.
+    Lifetime(String),
+    /// `::`
+    DColon,
+    /// `.`
+    Dot,
+    /// `..`, `..=`, or `...`
+    DotDot,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// `||` (empty closure header or boolean or)
+    OrOr,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A token tree: a leaf token or a delimited group.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A leaf token at a 1-based source line.
+    Leaf(Tok, usize),
+    /// `(...)`, `[...]`, or `{...}`: open delimiter, children, and the
+    /// open/close line numbers.
+    Group(char, Vec<Tree>, usize, usize),
+}
+
+impl Tree {
+    /// The 1-based line this tree starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(_, ln) => *ln,
+            Tree::Group(_, _, ln, _) => *ln,
+        }
+    }
+
+    /// The leaf token, if this tree is a leaf.
+    pub fn leaf(&self) -> Option<&Tok> {
+        match self {
+            Tree::Leaf(t, _) => Some(t),
+            Tree::Group(..) => None,
+        }
+    }
+
+    /// The identifier text, if this tree is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        self.leaf().and_then(Tok::ident)
+    }
+
+    /// Is this tree a group opened by `delim`?
+    pub fn is_group(&self, delim: char) -> bool {
+        matches!(self, Tree::Group(d, ..) if *d == delim)
+    }
+}
+
+/// Tokenize a scanned file's blanked code. Lines inside `#[cfg(test)]`
+/// regions are dropped wholesale: test code is out of contract scope,
+/// and removing whole items keeps the delimiter stream balanced.
+pub fn tokenize(file: &ScannedFile) -> Vec<(Tok, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.in_test[idx] {
+            continue;
+        }
+        let ln = idx + 1;
+        let b: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < b.len() {
+            let c = b[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let s = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                out.push((Tok::Ident(b[s..i].iter().collect()), ln));
+            } else if c.is_ascii_digit() {
+                let s = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if is_ident_char(d) {
+                        i += 1;
+                    } else if d == '.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else if (d == '+' || d == '-') && matches!(b[i - 1], 'e' | 'E') {
+                        i += 1; // exponent sign: `1e-3`
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Num(b[s..i].iter().collect()), ln));
+            } else if c == '\'' && b.get(i + 1).is_some_and(|n| n.is_ascii_alphabetic() || *n == '_')
+            {
+                // Char literals were blanked by the lexer; a surviving
+                // quote starts a lifetime or loop label.
+                let s = i + 1;
+                i += 1;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                }
+                out.push((Tok::Lifetime(b[s..i].iter().collect()), ln));
+            } else {
+                let next = b.get(i + 1).copied();
+                let (tok, len) = match (c, next) {
+                    (':', Some(':')) => (Tok::DColon, 2),
+                    ('-', Some('>')) => (Tok::Arrow, 2),
+                    ('=', Some('>')) => (Tok::FatArrow, 2),
+                    ('|', Some('|')) => (Tok::OrOr, 2),
+                    ('.', Some('.')) => {
+                        let extra = matches!(b.get(i + 2), Some('.') | Some('=')) as usize;
+                        (Tok::DotDot, 2 + extra)
+                    }
+                    ('.', _) => (Tok::Dot, 1),
+                    _ => (Tok::Punct(c), 1),
+                };
+                out.push((tok, ln));
+                i += len;
+            }
+        }
+    }
+    out
+}
+
+/// Fold a token stream into balanced trees. Mismatched or stray
+/// delimiters are tolerated: a stray close is dropped, an unclosed
+/// group is flushed at end of input — the parser degrades, never fails.
+pub fn build_trees(toks: Vec<(Tok, usize)>) -> Vec<Tree> {
+    let mut stack: Vec<(char, usize, Vec<Tree>)> = Vec::new();
+    let mut cur: Vec<Tree> = Vec::new();
+    for (t, ln) in toks {
+        match t {
+            Tok::Punct(c @ ('(' | '[' | '{')) => {
+                stack.push((c, ln, std::mem::take(&mut cur)));
+            }
+            Tok::Punct(')' | ']' | '}') => {
+                if let Some((open, oln, parent)) = stack.pop() {
+                    let children = std::mem::replace(&mut cur, parent);
+                    cur.push(Tree::Group(open, children, oln, ln));
+                }
+            }
+            other => cur.push(Tree::Leaf(other, ln)),
+        }
+    }
+    while let Some((open, oln, parent)) = stack.pop() {
+        let children = std::mem::replace(&mut cur, parent);
+        cur.push(Tree::Group(open, children, oln, oln));
+    }
+    cur
+}
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Fully qualified name: `crate::module::name` for free functions,
+    /// `crate::module::Type::name` for `impl`/`trait` methods.
+    pub qname: String,
+    /// The bare function name (last path segment).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the fn is an `impl`/`trait` method.
+    pub is_method: bool,
+    /// Body token trees (empty for bodiless trait declarations).
+    pub body: Vec<Tree>,
+}
+
+/// A parsed source file: extracted items plus the import map.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Every `fn` in the file, in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` aliases: `(local name, full path as written)`.
+    pub imports: Vec<(String, String)>,
+}
+
+/// Map a workspace-relative path to its module path segments. The root
+/// package's `src/` tree gets the synthetic crate segment `root`; crate
+/// trees use the directory name under `crates/` with `-` mapped to `_`.
+pub fn module_path(rel_path: &str) -> Vec<String> {
+    let mut segs: Vec<&str> = rel_path.split('/').collect();
+    let mut out: Vec<String> = Vec::new();
+    if segs.first() == Some(&"crates") && segs.len() >= 2 {
+        out.push(segs[1].replace('-', "_"));
+        segs.drain(..2);
+    } else {
+        out.push("root".to_string());
+    }
+    if segs.first() == Some(&"src") {
+        segs.remove(0);
+    }
+    for (i, s) in segs.iter().enumerate() {
+        let s = if i + 1 == segs.len() {
+            match s.strip_suffix(".rs") {
+                Some("lib") | Some("main") | Some("mod") => continue,
+                Some(stem) => stem,
+                None => s,
+            }
+        } else {
+            s
+        };
+        out.push(s.replace('-', "_"));
+    }
+    out
+}
+
+/// Parse one scanned file into items, given its workspace-relative
+/// path (which determines the module path of top-level items).
+pub fn parse(file: &ScannedFile, rel_path: &str) -> ParsedFile {
+    let trees = build_trees(tokenize(file));
+    let mut parsed = ParsedFile::default();
+    let modpath = module_path(rel_path).join("::");
+    collect_items(&trees, &modpath, None, &mut parsed);
+    parsed
+}
+
+/// Keywords that can prefix an item or start a statement; never calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "return", "let", "loop", "move", "ref", "mut",
+    "as", "break", "continue", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "unsafe", "async", "await", "dyn", "crate", "super",
+    "self", "Self", "extern",
+];
+
+/// Walk an item-level tree sequence, extracting fns/imports/mods.
+fn collect_items(trees: &[Tree], modpath: &str, impl_ty: Option<&str>, out: &mut ParsedFile) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        match trees[i].ident() {
+            Some("macro_rules") => {
+                // `macro_rules! name { ... }`: skip the whole definition
+                // — its body is token soup, not items.
+                i += 1;
+                while i < trees.len() && !trees[i].is_group('{') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            Some("use") => {
+                let start = i + 1;
+                let mut end = start;
+                while end < trees.len() && trees[end].leaf() != Some(&Tok::Punct(';')) {
+                    end += 1;
+                }
+                collect_use(&trees[start..end], &mut String::new(), &mut out.imports);
+                i = end + 1;
+            }
+            Some("mod") => {
+                let name = trees.get(i + 1).and_then(Tree::ident).unwrap_or("").to_string();
+                if let Some(Tree::Group('{', children, ..)) = trees.get(i + 2) {
+                    let nested = format!("{modpath}::{name}");
+                    collect_items(children, &nested, None, out);
+                    i += 3;
+                } else {
+                    i += 2; // `mod name;` — covered by file-path mapping
+                }
+            }
+            Some("fn") => {
+                let name = trees.get(i + 1).and_then(Tree::ident).unwrap_or("").to_string();
+                // Skip generics / params / return type up to the body
+                // group or a `;` (trait method declaration).
+                let mut j = i + 2;
+                let mut body = Vec::new();
+                while j < trees.len() {
+                    if let Tree::Group('{', children, ..) = &trees[j] {
+                        body = children.clone();
+                        j += 1;
+                        break;
+                    }
+                    if trees[j].leaf() == Some(&Tok::Punct(';')) {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                if !name.is_empty() {
+                    let qname = match impl_ty {
+                        Some(ty) => format!("{modpath}::{ty}::{name}"),
+                        None => format!("{modpath}::{name}"),
+                    };
+                    out.fns.push(FnItem {
+                        qname,
+                        name,
+                        line: trees[i].line(),
+                        is_method: impl_ty.is_some(),
+                        body,
+                    });
+                }
+                i = j;
+            }
+            Some(kw @ ("impl" | "trait")) => {
+                // `impl<G> Type { .. }`, `impl Trait for Type { .. }`,
+                // `trait Name { .. }`: find the body group, and take the
+                // last path identifier before it (after `for`, if any)
+                // as the type context for method qnames.
+                let mut j = i + 1;
+                let mut ty = String::new();
+                let mut depth = 0i32; // generic angle-bracket depth
+                let mut in_where = false;
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Group('{', children, ..) => {
+                            if !ty.is_empty() {
+                                collect_items(children, modpath, Some(&ty), out);
+                            }
+                            j += 1;
+                            break;
+                        }
+                        Tree::Leaf(Tok::Punct('<'), _) => depth += 1,
+                        Tree::Leaf(Tok::Punct('>'), _) => depth -= 1,
+                        Tree::Leaf(Tok::Ident(s), _) if depth == 0 && !in_where => {
+                            if s == "for" {
+                                ty.clear();
+                            } else if s == "where" {
+                                // `where` clauses end the type path.
+                                in_where = true;
+                            } else if ty.is_empty() || kw == "impl" {
+                                ty = s.clone();
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Expand one `use` tree list into `(alias, full path)` pairs.
+/// Handles `a::b::c`, `as` renames, nested `{...}` groups, and
+/// terminal `self`; glob imports are recorded as `("*", prefix)`.
+fn collect_use(trees: &[Tree], prefix: &mut String, out: &mut Vec<(String, String)>) {
+    let mut path: Vec<String> = Vec::new();
+    let mut alias: Option<String> = None;
+    let flush = |path: &mut Vec<String>, alias: &mut Option<String>,
+                     out: &mut Vec<(String, String)>, prefix: &str| {
+        if path.is_empty() {
+            return;
+        }
+        let full = if prefix.is_empty() {
+            path.join("::")
+        } else {
+            format!("{prefix}::{}", path.join("::"))
+        };
+        let name = alias.take().unwrap_or_else(|| path.last().cloned().unwrap_or_default());
+        if name == "self" {
+            // `use a::b::{self}`: binds `b` itself.
+            if let Some(parent) = full.strip_suffix("::self") {
+                if let Some(last) = parent.rsplit("::").next() {
+                    out.push((last.to_string(), parent.to_string()));
+                }
+            }
+        } else {
+            out.push((name, full));
+        }
+        path.clear();
+    };
+    let mut i = 0usize;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(Tok::Ident(s), _) if s == "as" => {
+                alias = trees.get(i + 1).and_then(Tree::ident).map(str::to_string);
+                i += 2;
+            }
+            Tree::Leaf(Tok::Ident(s), _) => {
+                path.push(s.clone());
+                i += 1;
+            }
+            Tree::Leaf(Tok::Punct('*'), _) => {
+                let full = if prefix.is_empty() {
+                    path.join("::")
+                } else if path.is_empty() {
+                    prefix.clone()
+                } else {
+                    format!("{prefix}::{}", path.join("::"))
+                };
+                out.push(("*".to_string(), full));
+                path.clear();
+                i += 1;
+            }
+            Tree::Leaf(Tok::Punct(','), _) => {
+                flush(&mut path, &mut alias, out, prefix);
+                i += 1;
+            }
+            Tree::Group('{', children, ..) => {
+                let mut nested = if prefix.is_empty() {
+                    path.join("::")
+                } else if path.is_empty() {
+                    prefix.clone()
+                } else {
+                    format!("{prefix}::{}", path.join("::"))
+                };
+                collect_use(children, &mut nested, out);
+                path.clear();
+                i += 1;
+            }
+            _ => i += 1, // `::` separators and stray tokens
+        }
+    }
+    flush(&mut path, &mut alias, out, prefix);
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments as written (`["exec", "par_map"]`; method calls
+    /// carry just the method name).
+    pub path: Vec<String>,
+    /// Whether this is a `.method(...)` call.
+    pub is_method: bool,
+    /// 1-based line of the callee name.
+    pub line: usize,
+}
+
+/// A panicking call site: `(line, token)` for `.unwrap()`, `.expect()`,
+/// and the panic-family macros — the same token set as rule D5.
+pub type PanicSite = (usize, String);
+
+/// Macros that panic by contract (rule D5's macro set).
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Panicking methods (rule D5's method set).
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Extract every call site and panic site from a body, recursively.
+pub fn body_facts(body: &[Tree]) -> (Vec<CallSite>, Vec<PanicSite>) {
+    let mut calls = Vec::new();
+    let mut panics = Vec::new();
+    walk_facts(body, &mut calls, &mut panics);
+    (calls, panics)
+}
+
+fn walk_facts(trees: &[Tree], calls: &mut Vec<CallSite>, panics: &mut Vec<PanicSite>) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        // Method call: `. name [::<..>] ( .. )`
+        if trees[i].leaf() == Some(&Tok::Dot) {
+            if let Some(name) = trees.get(i + 1).and_then(Tree::ident) {
+                let mut j = i + 2;
+                if trees.get(j).and_then(Tree::leaf) == Some(&Tok::DColon) {
+                    // Skip a turbofish `::< .. >` (angle depth count).
+                    j += 1;
+                    let mut depth = 0i32;
+                    while j < trees.len() {
+                        match trees[j].leaf() {
+                            Some(Tok::Punct('<')) => depth += 1,
+                            Some(Tok::Punct('>')) => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                if trees.get(j).is_some_and(|t| t.is_group('(')) {
+                    let line = trees[i + 1].line();
+                    calls.push(CallSite {
+                        path: vec![name.to_string()],
+                        is_method: true,
+                        line,
+                    });
+                    if PANIC_METHODS.contains(&name) {
+                        panics.push((line, name.to_string()));
+                    }
+                }
+            }
+            i += 2;
+            continue;
+        }
+        // Macro: `name !` (possibly path-qualified; the segment right
+        // before the bang is the macro name).
+        if let Some(name) = trees[i].ident() {
+            if trees.get(i + 1).and_then(Tree::leaf) == Some(&Tok::Punct('!'))
+                && PANIC_MACROS.contains(&name)
+            {
+                panics.push((trees[i].line(), name.to_string()));
+                i += 2;
+                continue;
+            }
+        }
+        // Direct or path call: `a::b::f ( .. )` with no leading dot.
+        if let Some(name) = trees[i].ident() {
+            if !KEYWORDS.contains(&name)
+                && !(i > 0 && trees[i - 1].leaf() == Some(&Tok::Dot))
+                && !(i > 0 && trees[i - 1].ident() == Some("fn"))
+            {
+                // Absorb a path written before this segment.
+                let mut segs = vec![name.to_string()];
+                let mut k = i;
+                while k >= 2
+                    && trees[k - 1].leaf() == Some(&Tok::DColon)
+                    && trees[k - 2].ident().is_some()
+                {
+                    segs.insert(0, trees[k - 2].ident().unwrap_or("").to_string());
+                    k -= 2;
+                }
+                // Only record at the *last* segment (followed by the
+                // call group, optionally through a turbofish).
+                let mut j = i + 1;
+                if trees.get(j).and_then(Tree::leaf) == Some(&Tok::DColon)
+                    && trees.get(j + 1).and_then(Tree::leaf) == Some(&Tok::Punct('<'))
+                {
+                    j += 1;
+                    let mut depth = 0i32;
+                    while j < trees.len() {
+                        match trees[j].leaf() {
+                            Some(Tok::Punct('<')) => depth += 1,
+                            Some(Tok::Punct('>')) => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                if trees.get(j).is_some_and(|t| t.is_group('(')) {
+                    calls.push(CallSite {
+                        path: segs,
+                        is_method: false,
+                        line: trees[i].line(),
+                    });
+                }
+            }
+        }
+        if let Tree::Group(_, children, ..) = &trees[i] {
+            walk_facts(children, calls, panics);
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&scan(src), "crates/demo/src/lib.rs")
+    }
+
+    #[test]
+    fn tokenizes_numbers_ranges_and_lifetimes() {
+        let toks = tokenize(&scan("let x = 1.5e8; for i in 0..n { f::<'a>(x) }\n"));
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|(t, _)| match t {
+                Tok::Num(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["1.5e8", "0"]);
+        assert!(toks.iter().any(|(t, _)| *t == Tok::DotDot));
+        assert!(toks
+            .iter()
+            .any(|(t, _)| matches!(t, Tok::Lifetime(l) if l == "a")));
+    }
+
+    #[test]
+    fn builds_balanced_trees_and_tolerates_garbage() {
+        let trees = build_trees(tokenize(&scan("f(a, g[1], { h() })\n")));
+        assert_eq!(trees.len(), 2); // `f` + one group
+        assert!(trees[1].is_group('('));
+        // Stray close / unclosed open never panic.
+        let _ = build_trees(tokenize(&scan(") } ( {\n")));
+    }
+
+    #[test]
+    fn extracts_free_fns_methods_and_mods() {
+        let p = parse_src(
+            "pub fn free(x: u32) -> u32 { helper(x) }\n\
+             impl Widget {\n    fn method(&self) { self.free() }\n}\n\
+             mod inner {\n    pub fn nested() {}\n}\n\
+             impl Display for Widget { fn fmt(&self) {} }\n",
+        );
+        let names: Vec<&str> = p.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "demo::free",
+                "demo::Widget::method",
+                "demo::inner::nested",
+                "demo::Widget::fmt"
+            ]
+        );
+        assert!(p.fns[1].is_method);
+        assert!(!p.fns[0].is_method);
+    }
+
+    #[test]
+    fn extracts_use_imports() {
+        let p = parse_src(
+            "use exec::par_map;\nuse a::b::{c, d as e, self};\nuse x::y::*;\n",
+        );
+        assert!(p.imports.contains(&("par_map".into(), "exec::par_map".into())));
+        assert!(p.imports.contains(&("c".into(), "a::b::c".into())));
+        assert!(p.imports.contains(&("e".into(), "a::b::d".into())));
+        assert!(p.imports.contains(&("b".into(), "a::b".into())));
+        assert!(p.imports.contains(&("*".into(), "x::y".into())));
+    }
+
+    #[test]
+    fn module_paths_cover_root_crates_and_bins() {
+        assert_eq!(module_path("src/lib.rs"), ["root"]);
+        assert_eq!(module_path("src/cli.rs"), ["root", "cli"]);
+        assert_eq!(
+            module_path("src/bin/cloud-repro.rs"),
+            ["root", "bin", "cloud_repro"]
+        );
+        assert_eq!(
+            module_path("crates/netsim/src/shaper/per_core.rs"),
+            ["netsim", "shaper", "per_core"]
+        );
+        assert_eq!(module_path("crates/topo/src/lib.rs"), ["topo"]);
+    }
+
+    #[test]
+    fn body_facts_find_calls_and_panics() {
+        let p = parse_src(
+            "fn f(x: Option<u32>) -> u32 {\n\
+                 let v = x.unwrap();\n\
+                 exec::par_map(jobs, &items, |i| helper(i));\n\
+                 if v == 0 { panic!(\"zero\") }\n\
+                 stats::describe::mean(&[1.0])\n\
+             }\n",
+        );
+        let (calls, panics) = body_facts(&p.fns[0].body);
+        let call_paths: Vec<String> = calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(call_paths.contains(&"exec::par_map".to_string()));
+        assert!(call_paths.contains(&"helper".to_string()));
+        assert!(call_paths.contains(&"stats::describe::mean".to_string()));
+        assert!(calls.iter().any(|c| c.is_method && c.path == ["unwrap"]));
+        assert_eq!(
+            panics,
+            vec![(2, "unwrap".to_string()), (4, "panic".to_string())]
+        );
+    }
+
+    #[test]
+    fn turbofish_method_calls_are_seen() {
+        let p = parse_src("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n");
+        let (calls, _) = body_facts(&p.fns[0].body);
+        assert!(calls.iter().any(|c| c.is_method && c.path == ["sum"]));
+        assert!(calls.iter().any(|c| c.is_method && c.path == ["iter"]));
+    }
+
+    #[test]
+    fn cfg_test_items_are_not_parsed() {
+        let p = parse_src(
+            "pub fn shipped() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "shipped");
+    }
+}

@@ -31,8 +31,16 @@ pub enum RuleId {
     D7,
     /// Crash-unsafe persistence outside the journal crate.
     D8,
+    /// An RNG stream aliased across parallel task closures.
+    D9,
+    /// Float reduction over an iteration source not proven order-stable.
+    D10,
+    /// Panicking call reachable from a campaign entry point.
+    D11,
     /// Suppression pragma without a `-- reason` (or unknown rule id).
     P0,
+    /// Dead suppression pragma: the named rule no longer fires in scope.
+    P1,
 }
 
 /// How severe a finding is: `Deny` fails the tier-1 gate, `Warn` is
@@ -67,7 +75,11 @@ impl RuleId {
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
             RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
+            RuleId::D10 => "D10",
+            RuleId::D11 => "D11",
             RuleId::P0 => "P0",
+            RuleId::P1 => "P1",
         }
     }
 
@@ -82,7 +94,11 @@ impl RuleId {
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
             "D8" => Some(RuleId::D8),
+            "D9" => Some(RuleId::D9),
+            "D10" => Some(RuleId::D10),
+            "D11" => Some(RuleId::D11),
             "P0" => Some(RuleId::P0),
+            "P1" => Some(RuleId::P1),
             _ => None,
         }
     }
@@ -91,9 +107,10 @@ impl RuleId {
     pub fn severity(&self) -> Severity {
         match self {
             // D6 is advisory: `partial_cmp` is NaN-unsafe but its
-            // callers sometimes handle the `None` deliberately; the
+            // callers sometimes handle the `None` deliberately. P1 is
+            // hygiene: a dead pragma is clutter, not a hazard. The
             // deny-tier rules have no such legitimate escape hatch.
-            RuleId::D6 => Severity::Warn,
+            RuleId::D6 | RuleId::P1 => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -109,13 +126,37 @@ impl RuleId {
             RuleId::D6 => "NaN-unsafe float comparison: total_cmp is mandated for ordering floats",
             RuleId::D7 => "non-workspace dependency: the build must succeed offline with the registry unreachable",
             RuleId::D8 => "crash-unsafe persistence outside crates/journal: direct writes tear on SIGKILL; persist through the write-ahead journal (tmp + atomic rename)",
+            RuleId::D9 => "RNG stream aliased across parallel tasks: derive a fresh SimRng per task (derive_seed) instead of capturing a shared one",
+            RuleId::D10 => "float reduction over a source not proven order-stable: float addition is non-associative, so iteration order becomes part of the result",
+            RuleId::D11 => "panicking call reachable from a campaign entry point: a panic here kills a fleet shard; return a typed error or justify the invariant for the whole call path",
             RuleId::P0 => "suppression pragma must name known rules and carry a `-- reason`",
+            RuleId::P1 => "dead suppression pragma: the named rule does not fire in this pragma's scope; delete the pragma or re-anchor it",
+        }
+    }
+
+    /// Multi-line rationale for `detlint --explain`: what the rule
+    /// catches, why the contract needs it, and the sanctioned fix.
+    pub fn rationale(&self) -> &'static str {
+        match self {
+            RuleId::D1 => "HashMap/HashSet iteration order is randomized per process (SipHash keys\nfrom process entropy), so any result that folds over such a map varies\nrun to run. Fix: BTreeMap/BTreeSet, or collect + sort before folding.",
+            RuleId::D2 => "Wall-clock reads (Instant, SystemTime) and host-topology probes\n(available_parallelism) make results depend on when and where the run\nhappens — the exact failure mode the source paper documents in real\nclouds. Only the bench harness (which measures wall time by design),\nthe exec runtime (pool sizing), and CLI parsing are exempt.",
+            RuleId::D3 => "Ad-hoc threads or shared-state primitives outside crates/exec create\nscheduling-dependent interleavings. All parallelism goes through the\ndeterministic work-stealing runtime, whose index-ordered merge makes\nworker count invisible to results.",
+            RuleId::D4 => "Entropy-seeded RNGs (thread_rng, from_entropy, RandomState) make every\nrun unique. Every SimRng must be constructed from an explicit seed or\nvia derive_seed so campaigns replay bit-for-bit.",
+            RuleId::D5 => "A panic in library code crashes the whole process instead of degrading\nthe campaign. Return typed errors (MeasureError et al.); a reasoned\npragma is acceptable where an invariant genuinely guarantees the call\ncannot fail.",
+            RuleId::D6 => "partial_cmp returns None on NaN and silently inverts sort contracts.\ntotal_cmp is the mandated float ordering. Warn-tier: some call sites\nhandle the None deliberately.",
+            RuleId::D7 => "A registry or git dependency breaks the offline build and imports code\nthat can change under the build. Every dependency must be a workspace\npath dependency. No pragma exists for D7 on purpose.",
+            RuleId::D8 => "Direct fs writes tear on SIGKILL, corrupting campaign state. All\npersistence goes through crates/journal (write-to-temp + atomic rename\n+ checksummed records). detlint's own analysis cache follows the same\natomic-rename discipline and is the one documented exemption.",
+            RuleId::D9 => "Two parallel tasks drawing from one RNG stream make the draw sequence\ndepend on task interleaving — the exact defect that breaks REPRO_JOBS\ninvariance, and it survives every golden-hash gate that happens to run\non one worker. detlint flags an rng-like value (named `rng`/`*_rng`)\ncaptured by a closure passed to the exec par_map family, unless the\nvalue is bound inside the closure itself. Fix: derive a per-task seed\n(derive_seed(seed, task_index)) and build the SimRng inside the task.",
+            RuleId::D10 => "Float addition is not associative: reordering a sum changes low-order\nbits, and bit-identical gates treat that as divergence. A reduction\n(.sum::<f64>(), float-seeded .fold) is accepted only when its source\nchain is provably order-stable: a named place (variable, field, index,\nrange) iterated through order-preserving adapters (iter/map/filter/\nzip/enumerate/...). A chain rooted at a function call — including the\nresult of a par_map merge — is not proven and must be rewritten over a\nnamed, ordered buffer or carry a reasoned pragma.",
+            RuleId::D11 => "Rule D5 is lexical; D11 is its call-graph escalation. A panic site in\nany function reachable from the measurement entry points (measure::\nrun_fleet*, run_campaign, run_all_patterns*, run_placement_fleet)\nkills a fleet shard at run time, so a local allow(D5) pragma's\njustification is not enough — the invariant must hold along every\npath from the entry point. Reachability is a conservative (class-\nhierarchy-less) over-approximation: method calls resolve to every\nimpl of that name; a pragma naming D11 documents the whole-path\nargument.",
+            RuleId::P0 => "The suppression mechanism is part of the contract: a pragma with no\nreason or naming an unknown rule silently weakens the gate, so it is\nitself a deny-tier finding.",
+            RuleId::P1 => "A pragma whose rule no longer fires in its scope (the pragma line and\nthe line below) is a stale exception: it documents a hazard that no\nlonger exists and would silently re-arm if the hazard returned\nelsewhere. Warn-tier hygiene; verify.sh keeps the tree at zero.",
         }
     }
 }
 
 /// Every rule id, in report order.
-pub const ALL_RULES: [RuleId; 9] = [
+pub const ALL_RULES: [RuleId; 13] = [
     RuleId::D1,
     RuleId::D2,
     RuleId::D3,
@@ -124,7 +165,11 @@ pub const ALL_RULES: [RuleId; 9] = [
     RuleId::D6,
     RuleId::D7,
     RuleId::D8,
+    RuleId::D9,
+    RuleId::D10,
+    RuleId::D11,
     RuleId::P0,
+    RuleId::P1,
 ];
 
 /// A lexical pattern over a blanked code line.
@@ -305,8 +350,10 @@ pub const TOKEN_RULES: [TokenRule; 7] = [
         ],
         // The journal crate is the workspace's one persistence layer:
         // it writes to a temp file and atomically renames, so a SIGKILL
-        // can never tear a record in place.
-        exempt_prefixes: &["crates/journal/"],
+        // can never tear a record in place. detlint's analysis cache is
+        // the one other writer: purely derived data, same tmp + rename
+        // discipline, and a torn cache only costs a re-parse.
+        exempt_prefixes: &["crates/journal/", "crates/detlint/src/cache.rs"],
     },
 ];
 
@@ -362,6 +409,7 @@ mod tests {
         for r in ALL_RULES {
             assert_eq!(RuleId::parse(r.as_str()), Some(r));
         }
-        assert_eq!(RuleId::parse("D9"), None);
+        assert_eq!(RuleId::parse("D99"), None);
+        assert_eq!(RuleId::parse("P2"), None);
     }
 }

@@ -1,0 +1,20 @@
+//! Fixture entry points: named like the real measure crate's fleet
+//! drivers so D11's reachability BFS starts here.
+
+/// Reaches `sim::deep_total` (pragma'd D5, no D11 sign-off → D11
+/// fires there) and `sim::signed_off` (D5+D11 pragma → silent).
+pub fn run_fleet(spec: &Spec) -> f64 {
+    sim::deep_total(spec) + sim::signed_off(spec)
+}
+
+/// A second entry point exercising the prefix match (`run_fleet*`).
+pub fn run_fleet_jobs(spec: &Spec, jobs: usize) -> f64 {
+    let _ = jobs;
+    sim::deep_total(spec)
+}
+
+/// Not an entry point (wrong crate would be, but also wrong name
+/// family): nothing it reaches is judged by D11.
+pub fn summarize(spec: &Spec) -> f64 {
+    sim::offline_debug_total(spec)
+}

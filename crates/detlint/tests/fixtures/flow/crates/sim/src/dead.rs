@@ -1,0 +1,25 @@
+//! P1 fixture: suppression pragmas that no longer suppress anything.
+
+/// P1 positive: D1 never fires in this fn, so the pragma is dead.
+pub fn tidy() -> u32 {
+    // detlint:allow(D1) -- fixture: anchored to nothing
+    7
+}
+
+/// P1 is per-rule: D5 is live (the unwrap below) but D11 is dead —
+/// nothing reachable from an entry point calls this fn.
+pub fn isolated(x: Option<u32>) -> u32 {
+    // detlint:allow(D5, D11) -- fixture: the D11 half is stale
+    x.unwrap()
+}
+
+/// P1 skips `#[cfg(test)]` regions: the linter ignores test code, so
+/// a pragma there guards nothing by design and is not "dead".
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pragma_in_test_region() {
+        // detlint:allow(D1) -- fixture: test-region pragma is P1-exempt
+        let _ = 1;
+    }
+}

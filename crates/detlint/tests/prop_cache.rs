@@ -1,0 +1,152 @@
+//! Property tests for the incremental analysis cache: over randomized
+//! synthetic workspaces, a warm run must reproduce the cold report
+//! byte for byte, and editing one file must re-parse exactly that
+//! file while leaving the report equal to a from-scratch analysis.
+
+use detlint::{lint_workspace, lint_workspace_cached, render_json_lines, RuleId};
+use proplite::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+/// Violations to seed: one per token rule (same set the engine prop
+/// suite uses), so generated files produce findings to compare.
+const NEEDLES: [(RuleId, &str); 7] = [
+    (RuleId::D1, "let m: HashMap<u8, u8> = make_map();"),
+    (RuleId::D2, "let t0 = Instant::now();"),
+    (RuleId::D3, "let h = thread::spawn(run_worker);"),
+    (RuleId::D4, "let mut rng = thread_rng();"),
+    (RuleId::D5, "let v = maybe().unwrap();"),
+    (RuleId::D6, "let o = a.partial_cmp(&b);"),
+    (RuleId::D8, "let f = File::create(path);"),
+];
+
+/// A fresh scratch workspace root; torn down by the caller.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("detlint_prop_cache_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One generated source file: filler lines with a needle at `pos`.
+fn file_source(which: usize, pos: usize, n: usize) -> String {
+    let n = n.max(pos + 1);
+    let mut lines: Vec<String> = (0..n).map(|i| format!("let filler{i} = {i} + 1;")).collect();
+    lines[pos] = NEEDLES[which % NEEDLES.len()].1.to_string();
+    lines.join("\n")
+}
+
+/// Lay out `n_files` crates (`crates/c<i>/src/lib.rs`) under `root`.
+fn write_workspace(root: &PathBuf, n_files: usize, which: usize, pos: usize, len: usize) {
+    for i in 0..n_files {
+        let src_dir = root.join(format!("crates/c{i}/src"));
+        fs::create_dir_all(&src_dir).expect("mkdir");
+        fs::write(
+            src_dir.join("lib.rs"),
+            file_source(which + i, (pos + i) % len.max(1), len),
+        )
+        .expect("write file");
+    }
+}
+
+prop_cases! {
+    #![config(Config::with_cases(24))]
+
+    #[test]
+    fn warm_run_is_byte_identical_and_all_hits(
+        n_files in 1usize..5,
+        which in 0usize..7,
+        pos in 0usize..12,
+        len in 1usize..12,
+    ) {
+        let root = scratch("warm");
+        write_workspace(&root, n_files, which, pos, len);
+        let cache_dir = root.join("target/detlint-cache");
+
+        let cold = lint_workspace_cached(&root, &cache_dir).expect("cold run");
+        let warm = lint_workspace_cached(&root, &cache_dir).expect("warm run");
+
+        prop_assert_eq!(
+            render_json_lines(&cold.findings),
+            render_json_lines(&warm.findings)
+        );
+        prop_assert_eq!(cold.stats.files, n_files);
+        prop_assert_eq!(cold.stats.parsed, n_files);
+        prop_assert_eq!(cold.stats.hits, 0);
+        prop_assert_eq!(warm.stats.hits, n_files);
+        prop_assert_eq!(warm.stats.parsed, 0);
+
+        // The cache never changes the answer: a cache-free analysis of
+        // the same tree renders identically.
+        let fresh = lint_workspace(&root).expect("uncached run");
+        prop_assert_eq!(
+            render_json_lines(&fresh),
+            render_json_lines(&warm.findings)
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn editing_one_file_reparses_exactly_that_file(
+        n_files in 2usize..6,
+        which in 0usize..7,
+        edit in 0usize..6,
+        len in 2usize..12,
+    ) {
+        let root = scratch("edit");
+        write_workspace(&root, n_files, which, 0, len);
+        let cache_dir = root.join("target/detlint-cache");
+        let _ = lint_workspace_cached(&root, &cache_dir).expect("cold run");
+
+        // Rewrite one file with a different needle and position.
+        let edit = edit % n_files;
+        let target = root.join(format!("crates/c{edit}/src/lib.rs"));
+        fs::write(&target, file_source(which + 3, len / 2, len + 2)).expect("rewrite");
+
+        let after = lint_workspace_cached(&root, &cache_dir).expect("after edit");
+        prop_assert_eq!(after.stats.files, n_files);
+        prop_assert_eq!(after.stats.parsed, 1, "only the edited file re-parses");
+        prop_assert_eq!(after.stats.hits, n_files - 1);
+
+        // And the incremental answer equals the from-scratch answer.
+        let fresh = lint_workspace(&root).expect("uncached run");
+        prop_assert_eq!(
+            render_json_lines(&fresh),
+            render_json_lines(&after.findings)
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_cache_degrades_to_full_parse(
+        n_files in 1usize..4,
+        which in 0usize..7,
+        junk in 0usize..3,
+    ) {
+        let root = scratch("corrupt");
+        write_workspace(&root, n_files, which, 0, 6);
+        let cache_dir = root.join("target/detlint-cache");
+        let cold = lint_workspace_cached(&root, &cache_dir).expect("cold run");
+
+        // Clobber the cache file three ways: beheaded (schema line
+        // broken), garbage, empty. A mid-file truncation can leave a
+        // *valid prefix*, which the decoder rightly accepts — these
+        // three are guaranteed-total losses.
+        let cache_file = cache_dir.join("facts.tsv");
+        let bytes = fs::read(&cache_file).expect("cache exists");
+        let clobbered: Vec<u8> = match junk {
+            0 => bytes[1..].to_vec(),
+            1 => b"not a cache at all\n".to_vec(),
+            _ => Vec::new(),
+        };
+        fs::write(&cache_file, clobbered).expect("clobber");
+
+        let recovered = lint_workspace_cached(&root, &cache_dir).expect("recovered run");
+        prop_assert_eq!(recovered.stats.hits, 0, "clobbered cache yields no hits");
+        prop_assert_eq!(recovered.stats.parsed, n_files);
+        prop_assert_eq!(
+            render_json_lines(&cold.findings),
+            render_json_lines(&recovered.findings)
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -297,7 +297,7 @@ impl std::ops::Index<&FlowId> for FlowMap {
     type Output = ActiveFlow;
 
     fn index(&self, id: &FlowId) -> &ActiveFlow {
-        // detlint:allow(D5) -- invariant: callers only index ids collected from this map in the same step
+        // detlint:allow(D5, D11) -- invariant: callers only index ids collected from this map in the same step; a miss is engine corruption where aborting the shard beats silently continuing
         self.get(id).expect("unknown flow id")
     }
 }
@@ -1253,7 +1253,7 @@ impl<S: Shaper> Fabric<S> {
         // Deliver bits and collect completions.
         let mut completed = Vec::new();
         for (id, r) in rates {
-            // detlint:allow(D5) -- invariant: `rates` was computed from `self.flows` this step
+            // detlint:allow(D5, D11) -- invariant: `rates` was computed from `self.flows` this step; a vanished flow is engine corruption where aborting the shard beats silently continuing
             let f = self.flows.get_mut(&id).expect("flow vanished");
             let want = (r * dt).min(f.remaining_bits);
             let delivered = want * node_scale[f.spec.src];

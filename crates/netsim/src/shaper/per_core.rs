@@ -106,7 +106,7 @@ impl PerCoreQos {
     }
 
     fn current_multiplier(&mut self, now: f64) -> f64 {
-        // detlint:allow(D5) -- invariant: only called while a burst is active, so burst_start is set
+        // detlint:allow(D5, D11) -- invariant: only called while a burst is active, so burst_start is set; violation is a shaper state-machine bug worth a loud abort
         let age = now - self.burst_start.expect("multiplier during idle");
         let ramp_loss = self.burst_penalty * (-age / self.cfg.ramp_tau_s).exp();
         let noise = self.noise.value();

@@ -38,16 +38,21 @@ fi
 echo "OK: all dependencies are workspace-local"
 
 echo "== detlint: determinism & hermeticity contract =="
-# Static gate: the self-hosted linter (crates/detlint) lexes every
+# Static gate: the self-hosted linter (crates/detlint) analyzes every
 # source file and manifest in the workspace and rejects the constructs
 # that break the reproducibility contract at their source — unordered
 # maps, wall-clock reads, ad-hoc threading, entropy-seeded RNGs,
-# panicking calls in library code, NaN-unsafe float ordering, and
-# non-workspace dependencies (rules D1-D7; see DESIGN.md). Exceptions
-# live in the source as scoped pragmas with mandatory reasons, so this
-# stage replaces the out-of-band allowlist the gate used to carry.
-# Deny-tier findings exit 1 and fail tier-1.
-cargo run -q --release --offline -p detlint --bin detlint -- --root .
+# panicking calls in library code, NaN-unsafe float ordering,
+# non-workspace dependencies, crash-unsafe persistence (token rules
+# D1-D8), RNG streams shared across parallel tasks and order-unstable
+# float reductions (dataflow rules D9/D10 over the token-tree parse),
+# and panics reachable from campaign entry points (call-graph rule
+# D11). Exceptions live in the source as scoped pragmas with mandatory
+# reasons (P0), and a pragma whose rule no longer fires is flagged as
+# dead (P1, warn-tier; see DESIGN.md §13). Deny-tier findings exit 1
+# and fail tier-1. `--no-cache` here so the gate itself never depends
+# on cache state; the cache paths get their own gate below.
+cargo run -q --release --offline -p detlint --bin detlint -- --root . --no-cache
 echo "OK: workspace lints deny-clean"
 
 echo "== detlint: every suppression pragma carries a reason =="
@@ -65,20 +70,39 @@ if [ -n "$pragma_bad" ]; then
 fi
 echo "OK: all pragmas are reasoned"
 
-echo "== detlint: JSON report is byte-stable =="
+echo "== detlint: JSON report is byte-stable, cold cache vs warm cache =="
 # CI diffs the JSON-lines report across runs; the ordering contract
-# (sorted by file, line, rule) must hold bit-for-bit.
+# (sorted by file, line, rule) must hold bit-for-bit. The runs are
+# staged to also prove the incremental-cache contract: a cold-cache
+# run (facts parsed from scratch and persisted), a warm-cache run
+# (every file served from target/detlint-cache), and a cache-free run
+# must all render the same bytes — the cache may change how fast the
+# answer arrives, never what it is.
 lint_a=$(mktemp)
 lint_b=$(mktemp)
+lint_c=$(mktemp)
+rm -rf target/detlint-cache
 cargo run -q --release --offline -p detlint --bin detlint -- --root . --json > "$lint_a"
 cargo run -q --release --offline -p detlint --bin detlint -- --root . --json > "$lint_b"
+cargo run -q --release --offline -p detlint --bin detlint -- --root . --json --no-cache > "$lint_c"
 if ! diff -u "$lint_a" "$lint_b" > /dev/null; then
-  echo "FAIL: detlint --json output differs between runs:" >&2
+  echo "FAIL: detlint --json differs between cold-cache and warm-cache runs:" >&2
   diff -u "$lint_a" "$lint_b" >&2 | head -20
   exit 1
 fi
-rm -f "$lint_a" "$lint_b"
-echo "OK: detlint --json is byte-identical across runs"
+if ! diff -u "$lint_a" "$lint_c" > /dev/null; then
+  echo "FAIL: detlint --json differs between cached and cache-free runs:" >&2
+  diff -u "$lint_a" "$lint_c" >&2 | head -20
+  exit 1
+fi
+rm -f "$lint_a" "$lint_b" "$lint_c"
+echo "OK: detlint --json is byte-identical cold-cache, warm-cache, and uncached"
+
+echo "== detlint: pipeline benchmark =="
+# Times the analysis uncached / cold-cache / warm-cache over this
+# workspace, re-checks byte-identity and deny-cleanliness from inside
+# the bench, and writes the files/sec trajectory to BENCH_detlint.json.
+cargo bench -q --offline -p bench --bench supp_detlint
 
 echo "== deterministic replay: faulty campaign =="
 # A campaign with every fault class active must be bit-for-bit

@@ -383,13 +383,21 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `cloud-repro detlint [--root DIR] [--json]` — run the determinism &
-/// hermeticity linter over the workspace. Returns `Ok(true)` when the
-/// gate is clean (no deny-tier findings).
+/// `cloud-repro detlint [--root DIR] [--json] [--no-cache]` — run the
+/// determinism & hermeticity linter (token, dataflow, and call-graph
+/// rules) over the workspace. Uses the incremental facts cache at
+/// `<root>/target/detlint-cache` unless `--no-cache`. Returns
+/// `Ok(true)` when the gate is clean (no deny-tier findings).
 fn cmd_detlint(flags: &BTreeMap<String, String>) -> Result<bool, String> {
-    let root = flags.get("root").map(|s| s.as_str()).unwrap_or(".");
-    let findings =
-        detlint::lint_workspace(std::path::Path::new(root)).map_err(|e| e.to_string())?;
+    let root = std::path::Path::new(flags.get("root").map(|s| s.as_str()).unwrap_or("."));
+    let findings = if flags.contains_key("no-cache") {
+        detlint::lint_workspace(root).map_err(|e| e.to_string())?
+    } else {
+        let cache_dir = root.join("target").join("detlint-cache");
+        detlint::lint_workspace_cached(root, &cache_dir)
+            .map_err(|e| e.to_string())?
+            .findings
+    };
     if flags.contains_key("json") {
         print!("{}", detlint::render_json_lines(&findings));
     } else {
@@ -437,7 +445,7 @@ fn usage() {
     println!("      topology with ECMP spreading; re-placed per repetition");
     println!("  plan --cloud C --workload W [--pilot N] [--target FRAC]");
     println!("  survey");
-    println!("  detlint [--root DIR] [--json]      lint against the determinism contract");
+    println!("  detlint [--root DIR] [--json] [--no-cache]  lint against the determinism contract");
     println!();
     println!("global flags:");
     println!("  --jobs N    parallel workers (default: REPRO_JOBS env, then all");
