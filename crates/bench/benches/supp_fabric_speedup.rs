@@ -16,7 +16,7 @@
 //! so future PRs can track the perf trajectory.
 
 use bench::timer::bench;
-use bench::{banner, check, mmss};
+use bench::{banner, check, mmss, rss};
 use repro_core::bigdata::engine::{run_job_cfg, EngineConfig};
 use repro_core::bigdata::workloads::tpcds;
 use repro_core::bigdata::Cluster;
@@ -218,6 +218,7 @@ fn main() {
         goldens_ok,
         fleet_1 == fleet_4,
     );
+    println!("  memory:    {}", rss::footer(rss::sample()));
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fabric.json");
     std::fs::write(&out, &json).expect("write BENCH_fabric.json");
     println!("  wrote {}", out.display());

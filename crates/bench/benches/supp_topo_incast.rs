@@ -12,7 +12,7 @@
 //! water-filling cache hit rate land in machine-readable
 //! `BENCH_topo.json` so future PRs can track the trajectory.
 
-use bench::{banner, check};
+use bench::{banner, check, rss};
 use repro_core::exec;
 use repro_core::netsim::fabric::{Fabric, FabricPerf, FlowSpec, StepPath};
 use repro_core::netsim::rng::{derive_seed, SimRng};
@@ -144,6 +144,7 @@ fn main() {
     let fleet_1 = fleet(1);
     let fleet_4 = fleet(4);
     println!("  fleet goldens: jobs=1 {fleet_1:016x}, jobs=4 {fleet_4:016x}");
+    println!("  memory:    {}", rss::footer(rss::sample()));
 
     // Machine-readable perf trajectory.
     let tree_ok = tree_event == tree_ref && tree_fast == tree_ref;

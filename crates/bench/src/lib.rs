@@ -7,6 +7,7 @@
 //! behind it on the simulated substrate and prints the same rows or
 //! series the paper reports. These helpers keep the output uniform.
 
+pub mod rss;
 pub mod timer;
 
 use repro_core::vstats::describe::BoxSummary;

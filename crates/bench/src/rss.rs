@@ -1,0 +1,108 @@
+//! Process memory readings from `/proc/self/status`.
+//!
+//! The million-tenant scale bench must show that streaming aggregation
+//! keeps the campaign's footprint flat in tenant count, which requires
+//! reading the process's actual resident set — a number only the
+//! kernel knows. On Linux the procfs `status` file exposes it in two
+//! lines; anywhere else (or on a procfs that hides them) the reader
+//! degrades to [`None`] and benches simply omit the memory columns.
+
+/// A point-in-time memory reading for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemUsage {
+    /// Current resident set size, kibibytes (`VmRSS`).
+    pub vm_rss_kb: u64,
+    /// Peak resident set size since process start, kibibytes (`VmHWM`).
+    pub vm_hwm_kb: u64,
+}
+
+impl MemUsage {
+    /// Current resident set in mebibytes.
+    pub fn rss_mib(&self) -> f64 {
+        self.vm_rss_kb as f64 / 1024.0
+    }
+
+    /// Peak resident set in mebibytes.
+    pub fn peak_mib(&self) -> f64 {
+        self.vm_hwm_kb as f64 / 1024.0
+    }
+}
+
+/// Read this process's current and peak resident set. `None` when
+/// `/proc/self/status` is absent (non-Linux) or missing either field.
+pub fn sample() -> Option<MemUsage> {
+    parse_status(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+fn parse_status(status: &str) -> Option<MemUsage> {
+    let mut rss = None;
+    let mut hwm = None;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            hwm = parse_kb(rest);
+        }
+    }
+    Some(MemUsage { vm_rss_kb: rss?, vm_hwm_kb: hwm? })
+}
+
+/// Parse the value of a `Vm*` line: whitespace, digits, then a `kB`
+/// unit that procfs has printed since 2.6.
+fn parse_kb(rest: &str) -> Option<u64> {
+    let mut it = rest.split_whitespace();
+    let value = it.next()?.parse().ok()?;
+    match it.next() {
+        Some("kB") => Some(value),
+        _ => None,
+    }
+}
+
+/// Format an optional reading as a bench footer fragment, e.g.
+/// `rss=142.3 MiB peak=151.0 MiB` or `rss=unavailable`.
+pub fn footer(m: Option<MemUsage>) -> String {
+    match m {
+        Some(m) => format!("rss={:.1} MiB peak={:.1} MiB", m.rss_mib(), m.peak_mib()),
+        None => "rss=unavailable".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_canonical_status() {
+        let status = "Name:\tbench\nVmPeak:\t  201000 kB\nVmRSS:\t  144384 kB\nVmHWM:\t  154624 kB\nThreads:\t8\n";
+        let m = parse_status(status).expect("both fields present");
+        assert_eq!(m.vm_rss_kb, 144_384);
+        assert_eq!(m.vm_hwm_kb, 154_624);
+        assert!((m.rss_mib() - 141.0).abs() < 1e-9);
+        assert!((m.peak_mib() - 151.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_fields_degrade_to_none() {
+        assert_eq!(parse_status("Name:\tbench\nThreads:\t8\n"), None);
+        assert_eq!(parse_status("VmRSS:\t 10 kB\n"), None, "needs VmHWM too");
+        assert_eq!(parse_status("VmRSS:\tgarbage kB\nVmHWM:\t 10 kB\n"), None);
+        assert_eq!(parse_status("VmRSS:\t 10 MB\nVmHWM:\t 10 kB\n"), None);
+    }
+
+    #[test]
+    fn live_sample_works_on_linux() {
+        if !std::path::Path::new("/proc/self/status").exists() {
+            return; // off-Linux: `sample` contractually returns None
+        }
+        let m = sample().expect("procfs present");
+        assert!(m.vm_rss_kb > 0);
+        assert!(m.vm_hwm_kb >= m.vm_rss_kb);
+    }
+
+    #[test]
+    fn footer_formats_both_arms() {
+        let m = MemUsage { vm_rss_kb: 2048, vm_hwm_kb: 3072 };
+        assert_eq!(footer(Some(m)), "rss=2.0 MiB peak=3.0 MiB");
+        assert_eq!(footer(None), "rss=unavailable");
+    }
+}

@@ -158,6 +158,9 @@ pub struct Journal {
     records: Vec<JournalRecord>,
     /// The serialized on-disk image (header + all valid records).
     image: Vec<u8>,
+    /// Records appended to the in-memory image but not yet persisted
+    /// (see [`Journal::append_deferred`] / [`Journal::flush`]).
+    pending: usize,
 }
 
 impl Journal {
@@ -175,6 +178,7 @@ impl Journal {
             config_fingerprint,
             records: Vec::new(),
             image,
+            pending: 0,
         };
         j.persist()?;
         Ok(j)
@@ -232,6 +236,7 @@ impl Journal {
                 config_fingerprint,
                 records,
                 image,
+                pending: 0,
             },
             OpenReport { records: n_records, truncated_bytes },
         ))
@@ -242,6 +247,19 @@ impl Journal {
     /// over `<path>`, so a crash at any instant leaves a valid journal
     /// holding either `n` or `n+1` records.
     pub fn append(&mut self, record: JournalRecord) -> Result<(), JournalError> {
+        self.append_deferred(record);
+        self.flush()
+    }
+
+    /// Append one record to the in-memory image **without** persisting
+    /// it — the group-commit half of [`Journal::append`]. Deferred
+    /// records are durable only after the next [`Journal::flush`] (or
+    /// durable `append`); a crash before then loses exactly the
+    /// deferred suffix and nothing else, because the on-disk file still
+    /// holds the last flushed image. Batching k appends per flush turns
+    /// the O(N) tmp+rename writes of a journaled campaign into O(N/k)
+    /// with unchanged torn-tail semantics.
+    pub fn append_deferred(&mut self, record: JournalRecord) {
         let mut body = Vec::with_capacity(BODY_FIXED_LEN + record.payload.len());
         body.extend_from_slice(&record.shard.to_le_bytes());
         body.extend_from_slice(&record.seed.to_le_bytes());
@@ -253,7 +271,24 @@ impl Journal {
         self.image.extend_from_slice(&body);
         self.image.extend_from_slice(&crc.to_le_bytes());
         self.records.push(record);
-        self.persist()
+        self.pending += 1;
+    }
+
+    /// Number of records appended but not yet persisted.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Persist all deferred records in one tmp+rename write. A no-op
+    /// when nothing is pending, so callers can flush defensively at
+    /// group boundaries and on completion.
+    pub fn flush(&mut self) -> Result<(), JournalError> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.persist()?;
+        self.pending = 0;
+        Ok(())
     }
 
     /// Write the current image via temp file + atomic rename.
@@ -480,6 +515,51 @@ mod tests {
             Err(JournalError::BadHeader { .. })
         ));
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn deferred_appends_are_invisible_until_flush() {
+        let path = temp_file("deferred");
+        let _ = fs::remove_file(&path);
+        let mut j = Journal::create(&path, 5).unwrap();
+        j.append(rec(0, b"durable")).unwrap();
+        j.append_deferred(rec(1, b"in flight"));
+        j.append_deferred(rec(2, b"also in flight"));
+        assert_eq!(j.pending(), 2);
+        assert_eq!(j.len(), 3, "deferred records are visible in memory");
+        // A reader (or a crash) at this instant sees only the flushed
+        // prefix — exactly the group-commit durability contract.
+        let (snap, _) = Journal::open(&path, 5).unwrap();
+        assert_eq!(snap.len(), 1);
+        j.flush().unwrap();
+        assert_eq!(j.pending(), 0);
+        let (re, report) = Journal::open(&path, 5).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(re.records(), j.records());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn grouped_and_per_record_appends_produce_identical_files() {
+        let pa = temp_file("grouped_a");
+        let pb = temp_file("grouped_b");
+        let _ = fs::remove_file(&pa);
+        let _ = fs::remove_file(&pb);
+        let mut a = Journal::create(&pa, 9).unwrap();
+        let mut b = Journal::create(&pb, 9).unwrap();
+        for i in 0..7u64 {
+            a.append(rec(i, &vec![i as u8; 5])).unwrap();
+            b.append_deferred(rec(i, &vec![i as u8; 5]));
+            if i % 3 == 2 {
+                b.flush().unwrap();
+            }
+        }
+        b.flush().unwrap();
+        assert_eq!(fs::read(&pa).unwrap(), fs::read(&pb).unwrap());
+        // Idempotent: flushing with nothing pending rewrites nothing.
+        b.flush().unwrap();
+        fs::remove_file(&pa).unwrap();
+        fs::remove_file(&pb).unwrap();
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub enum MeasureError {
         /// Human-readable cause (the underlying `journal` error).
         detail: String,
     },
+    /// The campaign's topology could not be wired (host shortage, ECMP
+    /// enumeration failure). Surfaces before any tenant simulates.
+    TopologyFailed {
+        /// Human-readable cause (the underlying `topo` error).
+        detail: String,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -110,6 +116,9 @@ impl fmt::Display for MeasureError {
             }
             MeasureError::JournalFailed { detail } => {
                 write!(f, "journal operation failed: {detail}")
+            }
+            MeasureError::TopologyFailed { detail } => {
+                write!(f, "topology wiring failed: {detail}")
             }
         }
     }

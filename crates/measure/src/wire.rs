@@ -231,37 +231,57 @@ fn gap_cause_from_tag(tag: u8) -> Option<GapCause> {
     }
 }
 
-/// Bounds-checked little-endian cursor.
-struct Reader<'a> {
+/// Bounds-checked little-endian cursor (shared with the streaming
+/// campaign's checkpoint codec).
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, at: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.at.checked_add(n)?;
         let slice = self.bytes.get(self.at..end)?;
         self.at = end;
         Some(slice)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         Some(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         let mut b = [0u8; 4];
         b.copy_from_slice(self.take(4)?);
         Some(u32::from_le_bytes(b))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         let mut b = [0u8; 8];
         b.copy_from_slice(self.take(8)?);
         Some(u64::from_le_bytes(b))
     }
 
-    fn done(&self) -> bool {
+    /// Remaining bytes from the cursor position.
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.at..]
+    }
+
+    /// Advance the cursor by `n` (caller got `n` from a nested decoder).
+    pub(crate) fn advance(&mut self, n: usize) -> Option<()> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        self.at = end;
+        Some(())
+    }
+
+    pub(crate) fn done(&self) -> bool {
         self.at == self.bytes.len()
     }
 }

@@ -1,0 +1,58 @@
+//! End-to-end engine invariance of the streaming campaign.
+//!
+//! The `cloud-repro campaign --tenants N` pipeline must produce
+//! byte-identical reports no matter which fabric stepping engine runs
+//! underneath (event-driven, fast incremental, or reference loops) and
+//! no matter the worker count. This file holds a single `#[test]` on
+//! purpose: it toggles process-global `FABRIC_*` environment variables,
+//! and a sibling test running concurrently would race on them.
+
+use measure::stream::{run_fleet_stream, StreamSpec};
+use netsim::TrafficPattern;
+
+#[test]
+fn streaming_report_is_invariant_across_engines_and_workers() {
+    let mut spec = StreamSpec::new(
+        clouds::hpccloud::n_core(8).with_reference_faults(),
+        TrafficPattern::FullSpeed,
+        90.0,
+        400,
+        0xfeed_f00d,
+    );
+    spec.topology = Some(topo::zoo::star(16).expect("star"));
+
+    // Baseline: default engine (event-driven), two workers.
+    std::env::remove_var("FABRIC_SLOW_PATH");
+    std::env::remove_var("FABRIC_EVENT_PATH");
+    let baseline = run_fleet_stream(&spec, 2).expect("baseline");
+    let baseline_report = baseline.render(&spec);
+    assert_eq!(baseline.tenants_done, 400);
+
+    // Worker-count invariance on the default engine.
+    let serial = run_fleet_stream(&spec, 1).expect("jobs=1");
+    assert_eq!(serial.render(&spec), baseline_report);
+
+    // Fast incremental path.
+    std::env::set_var("FABRIC_EVENT_PATH", "0");
+    let fast = run_fleet_stream(&spec, 2).expect("fast path");
+    assert_eq!(
+        fast.render(&spec),
+        baseline_report,
+        "fast-path report must be byte-identical to the event engine's"
+    );
+    std::env::remove_var("FABRIC_EVENT_PATH");
+
+    // Reference loops (the bit-pinned oracle).
+    std::env::set_var("FABRIC_SLOW_PATH", "1");
+    let reference = run_fleet_stream(&spec, 2).expect("reference path");
+    assert_eq!(
+        reference.render(&spec),
+        baseline_report,
+        "reference-path report must be byte-identical to the event engine's"
+    );
+    std::env::remove_var("FABRIC_SLOW_PATH");
+
+    assert_eq!(baseline.fingerprint, serial.fingerprint);
+    assert_eq!(baseline.fingerprint, fast.fingerprint);
+    assert_eq!(baseline.fingerprint, reference.fingerprint);
+}

@@ -21,6 +21,9 @@
 //!   [`describe`].
 //! * **Bootstrap** CIs and one-way **ANOVA** for robust comparisons —
 //!   [`bootstrap`], [`htest::anova`].
+//! * **Streaming sketches** for million-tenant campaigns: fixed-memory
+//!   deterministic quantiles, moments and coverage counters that are
+//!   bit-pinned to the exact path at small N — [`sketch`].
 //!
 //! All routines are dependency-light (`rand` only, for the bootstrap)
 //! and deterministic where randomness is involved (explicit seeds).
@@ -34,6 +37,7 @@ pub mod dist;
 pub mod effect;
 pub mod htest;
 pub mod kappa;
+pub mod sketch;
 
 pub use autocorr::{autocorrelation, autocovariance};
 pub use bootstrap::{block_bootstrap_ci, block_bootstrap_ci_jobs, bootstrap_ci, bootstrap_ci_jobs};
@@ -43,3 +47,4 @@ pub use describe::{
     coefficient_of_variation, mean, median, quantile, std_dev, BoxSummary, GapAwareSummary, Summary,
 };
 pub use kappa::cohens_kappa;
+pub use sketch::{Coverage, Sketch, SketchConfig};

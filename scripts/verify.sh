@@ -305,4 +305,89 @@ fi
 cargo test -q --release --offline -p topo --test prop_topo
 echo "OK: flat topology is byte-invisible; fat-tree engages the link allocator"
 
+echo "== streaming scale: campaign --tenants, O(1) aggregation, byte-identical everywhere =="
+# The streaming-aggregation contract (DESIGN.md §14): a campaign over N
+# seed-derived tenants folds into fixed-size sketch state, and its
+# report bytes are a pure function of the spec — invariant to worker
+# count, stepping engine, and kill/resume. Gates:
+#   1. `campaign --tenants 2000` (reference faults, 16-host star with
+#      per-tenant path ceilings) byte-diffed across REPRO_JOBS=1/4 and
+#      across the event/fast/reference engines.
+#   2. `--self-check` cross-checks sketch quantiles against the exact
+#      estimator: bit-pinned below the exact-buffer cap (N=600),
+#      bounded-error above it (N=2000); both must report PASS.
+#   3. A run killed mid-campaign (`--kill-after-tenants 1200` aborts at
+#      a checkpoint, SIGKILL-style) must leave a journal that is a
+#      byte-prefix of the uninterrupted run's; resuming it must
+#      reproduce the uninterrupted report and journal byte-for-byte.
+#   4. The sketch property suite and the engine-invariance integration
+#      test run under the gate.
+scale_dir=$(mktemp -d)
+trap 'rm -f "$replay_a" "$replay_b" "$par_a" "$par_b" "$slow_a" "$fast_a"; rm -rf "$wal" "$topo_dir" "$scale_dir"' EXIT
+stream="cargo run -q --release --offline --bin cloud-repro -- campaign \
+  --cloud hpc-8 --tenants 2000 --hours 0.05 --seed 13 --faults \
+  --topology star --hosts 16"
+REPRO_JOBS=1 $stream > "$scale_dir/j1.out" 2>/dev/null
+REPRO_JOBS=4 $stream > "$scale_dir/j4.out" 2>/dev/null
+if ! diff -u "$scale_dir/j1.out" "$scale_dir/j4.out" > /dev/null; then
+  echo "FAIL: streaming campaign differs between 1 and 4 workers:" >&2
+  diff -u "$scale_dir/j1.out" "$scale_dir/j4.out" >&2 | head -20
+  exit 1
+fi
+FABRIC_SLOW_PATH=1 $stream > "$scale_dir/ref.out" 2>/dev/null
+FABRIC_EVENT_PATH=0 $stream > "$scale_dir/fast.out" 2>/dev/null
+for eng in ref fast; do
+  if ! diff -u "$scale_dir/j1.out" "$scale_dir/$eng.out" > /dev/null; then
+    echo "FAIL: streaming campaign differs on the $eng engine:" >&2
+    diff -u "$scale_dir/j1.out" "$scale_dir/$eng.out" >&2 | head -20
+    exit 1
+  fi
+done
+stream_check="cargo run -q --release --offline --bin cloud-repro -- campaign \
+  --cloud hpc-8 --hours 0.05 --seed 13 --faults --self-check"
+$stream_check --tenants 600 > "$scale_dir/check600.out" 2>/dev/null
+$stream_check --tenants 2000 > "$scale_dir/check2000.out" 2>/dev/null
+if ! grep -q "exact path, bit-pinned.* -- PASS" "$scale_dir/check600.out"; then
+  echo "FAIL: self-check at N=600 is not bit-pinned PASS:" >&2
+  grep "self-check" "$scale_dir/check600.out" >&2 || true
+  exit 1
+fi
+if ! grep -q "sketched.* -- PASS" "$scale_dir/check2000.out"; then
+  echo "FAIL: sketched self-check at N=2000 did not PASS:" >&2
+  grep "self-check" "$scale_dir/check2000.out" >&2 || true
+  exit 1
+fi
+stream_wal="$stream --checkpoint-every 500 --journal"
+$stream_wal "$scale_dir/full.jnl" > "$scale_dir/full_jnl.out" 2>/dev/null
+if ! diff -u "$scale_dir/j1.out" "$scale_dir/full_jnl.out" > /dev/null; then
+  echo "FAIL: journaled streaming report differs from the plain one" >&2
+  exit 1
+fi
+if bash -c "$stream_wal '$scale_dir/kill.jnl' --kill-after-tenants 1200" > /dev/null 2>&1; then
+  echo "FAIL: --kill-after-tenants 1200 run exited cleanly instead of dying" >&2
+  exit 1
+fi
+if [ "$(wc -c < "$scale_dir/kill.jnl")" -ge "$(wc -c < "$scale_dir/full.jnl")" ]; then
+  echo "FAIL: killed streaming journal is not smaller than the complete one" >&2
+  exit 1
+fi
+if ! head -c "$(wc -c < "$scale_dir/kill.jnl")" "$scale_dir/full.jnl" \
+  | cmp -s - "$scale_dir/kill.jnl"; then
+  echo "FAIL: killed streaming journal is not a byte-prefix of the full one" >&2
+  exit 1
+fi
+REPRO_JOBS=4 $stream_wal "$scale_dir/kill.jnl" --resume > "$scale_dir/resumed.out" 2>/dev/null
+if ! diff -u "$scale_dir/full_jnl.out" "$scale_dir/resumed.out" > /dev/null; then
+  echo "FAIL: resumed streaming report differs from the uninterrupted run's:" >&2
+  diff -u "$scale_dir/full_jnl.out" "$scale_dir/resumed.out" >&2 | head -20
+  exit 1
+fi
+if ! cmp -s "$scale_dir/full.jnl" "$scale_dir/kill.jnl"; then
+  echo "FAIL: healed streaming journal differs from the uninterrupted one" >&2
+  exit 1
+fi
+cargo test -q --release --offline -p vstats --test prop_sketch
+cargo test -q --release --offline -p measure --test stream_campaign
+echo "OK: streaming campaign is byte-identical across workers, engines, and kill/resume"
+
 echo "== verify.sh: all gates passed =="

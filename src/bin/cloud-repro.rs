@@ -50,6 +50,9 @@ fn cmd_campaign(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let pattern = pattern_by_name(flags.get("pattern").map(|s| s.as_str()).unwrap_or("full-speed"))?;
     let h = get_f64(flags, "hours", 1.0)?;
     let seed = get_u64(flags, "seed", 1)?;
+    if flags.contains_key("tenants") {
+        return cmd_campaign_stream(flags, cloud, pattern, h, seed);
+    }
     let res = measure::run_campaign(&cloud, pattern, hours(h), seed).map_err(|e| e.to_string())?;
     println!(
         "campaign: {} {} / {} for {h} h (seed {seed})",
@@ -66,6 +69,79 @@ fn cmd_campaign(flags: &BTreeMap<String, String>) -> Result<(), String> {
     if let Some(cost) = res.cost_usd {
         println!("cost of the pair: ${cost:.2}");
     }
+    Ok(())
+}
+
+/// Streaming campaign: shard `--tenants N` seed-derived pairs into
+/// fixed panes, fold each into O(1) sketch state, and print a report
+/// whose bytes are invariant to worker count, stepping engine, and
+/// kill/resume. The deterministic report goes to **stdout**; progress,
+/// checkpoints, and resume accounting go to stderr, so `verify.sh`
+/// can diff reports across all those axes byte-for-byte.
+fn cmd_campaign_stream(
+    flags: &BTreeMap<String, String>,
+    cloud: clouds::CloudProfile,
+    pattern: netsim::TrafficPattern,
+    h: f64,
+    seed: u64,
+) -> Result<(), String> {
+    let tenants = get_u64(flags, "tenants", 0)?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let cloud = if flags.contains_key("faults") { cloud.with_reference_faults() } else { cloud };
+    let mut spec = measure::StreamSpec::new(cloud, pattern, hours(h), tenants, seed);
+    spec.placement_seed = get_u64(flags, "placement-seed", seed)?;
+    spec.self_check = flags.contains_key("self-check");
+    spec.checkpoint_every = get_u64(flags, "checkpoint-every", 0)?;
+    if let Some(name) = flags.get("topology") {
+        let hosts = get_u64(flags, "hosts", 16)? as usize;
+        spec.topology = Some(topology_by_name(name, hosts)?);
+    }
+    let jobs = exec::current_jobs();
+
+    let Some(jpath) = flags.get("journal") else {
+        let out = measure::run_fleet_stream(&spec, jobs).map_err(|e| e.to_string())?;
+        print!("{}", out.render(&spec));
+        return Ok(());
+    };
+
+    let resume = flags.contains_key("resume");
+    let kill_after = get_u64(flags, "kill-after-tenants", 0)?;
+    eprintln!(
+        "campaign[journaled]: journal {jpath}, resume={resume}, checkpoint-every={}, \
+         {jobs} worker{}",
+        spec.cadence(),
+        if jobs == 1 { "" } else { "s" }
+    );
+    let out = measure::run_fleet_stream_journaled(
+        &spec,
+        std::path::Path::new(jpath),
+        resume,
+        jobs,
+        |n| {
+            eprintln!("  checkpointed {n}/{tenants} tenants");
+            if kill_after > 0 && n >= kill_after {
+                // Crash-testing hook: die as abruptly as a SIGKILL
+                // would — no unwinding, no flushing, mid-campaign.
+                eprintln!("  --kill-after-tenants {kill_after}: aborting now");
+                std::process::abort();
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "resume: resumed={} skipped={} computed={} verified_pane={} truncated={}B \
+         checkpoints={} config={:#018x}",
+        out.resume.resumed,
+        out.resume.tenants_skipped,
+        out.resume.tenants_computed,
+        out.resume.verified_pane,
+        out.resume.truncated_bytes,
+        out.resume.checkpoints_written,
+        out.config_fingerprint
+    );
+    print!("{}", out.summary.render(&spec));
     Ok(())
 }
 
@@ -191,6 +267,9 @@ fn cmd_fleet_journaled(
     let resume = flags.contains_key("resume");
     let verify = get_u64(flags, "verify-resume", 2)? as usize;
     let kill_after = get_u64(flags, "kill-after", 0)?;
+    // Group commit: one durable journal write per k settled shards.
+    // Contents are unchanged; a crash loses at most the open group.
+    let group = get_u64(flags, "checkpoint-every", 1)?.max(1) as usize;
     let spec = measure::FleetSpec {
         profile: cloud,
         pattern,
@@ -208,12 +287,13 @@ fn cmd_fleet_journaled(
          {jobs} worker{}",
         if jobs == 1 { "" } else { "s" }
     );
-    let out = measure::run_fleet_journaled_with(
+    let out = measure::run_fleet_journaled_grouped(
         &spec,
         std::path::Path::new(jpath),
         resume,
         verify,
         jobs,
+        group,
         |n| {
             eprintln!("  journaled {n}/{n_pairs} shards");
             if kill_after > 0 && n >= kill_after {
@@ -433,11 +513,19 @@ fn usage() {
     println!("subcommands:");
     println!("  list                               clouds, workloads, patterns");
     println!("  campaign --cloud C [--pattern P] [--hours H] [--seed S]");
+    println!("        [--tenants N]   streaming campaign: N seed-derived tenant pairs folded");
+    println!("        into O(1) sketch state; report bytes invariant to workers and engine;");
+    println!("        [--faults] reference faults; [--topology T] [--hosts N]");
+    println!("        [--placement-seed S] per-tenant path ceilings; [--self-check] cross-");
+    println!("        check sketch vs exact quantiles; [--journal PATH] [--resume]");
+    println!("        [--checkpoint-every K] crash-safe checkpoints every K tenants;");
+    println!("        [--kill-after-tenants N] crash-test hook");
     println!("  fleet --cloud C [--pairs N] [--pattern P] [--hours H] [--seed S]");
     println!("        [--journal PATH] [--resume] [--verify-resume N]   crash-safe campaign:");
     println!("        journal every settled shard, resume after a crash, re-verify N");
     println!("        journaled shards bit-for-bit; [--max-attempts N] [--retry-budget N]");
-    println!("        [--step-budget STEPS] bound repairs; [--kill-after N] crash-test hook");
+    println!("        [--step-budget STEPS] bound repairs; [--kill-after N] crash-test hook;");
+    println!("        [--checkpoint-every K] group-commit one journal write per K shards");
     println!("  probe --cloud C [--probes N] [--max-seconds T]");
     println!("  fingerprint --cloud C [--bucket]");
     println!("  run --cloud C --workload W [--reps N] [--nodes N] [--fabric-path event|fast|reference]");
