@@ -753,6 +753,7 @@ pub fn run_fleet_stream_journaled(
     let mut summary = StreamSummary::empty(spec);
     let mut last_ckpt: u64 = 0;
     let mut verified_pane = false;
+    let mut start_pane: u64 = 0;
 
     // Restore the last checkpoint, verifying its pane digest against a
     // fresh recomputation before trusting — or extending — the log.
@@ -775,6 +776,12 @@ pub fn run_fleet_stream_journaled(
         }
         verified_pane = true;
         last_ckpt = ckpt.summary.tenants_done;
+        // The checkpointed pane is fully absorbed (the decoder pins
+        // `tenants_done` to its end bound), so resume at the pane after
+        // it. Deriving the pane from `tenants_done / PANE_TENANTS`
+        // would floor a partial final pane back into range and fold its
+        // tenants twice.
+        start_pane = ckpt.last_pane + 1;
         summary = ckpt.summary;
     }
     let tenants_skipped = summary.tenants_done;
@@ -783,11 +790,8 @@ pub fn run_fleet_stream_journaled(
     // counts (cadence from the persisted `last_ckpt`), so a resumed
     // run's journal is byte-identical to an uninterrupted one's.
     let cadence = spec.cadence();
-    let start_pane = summary.tenants_done / PANE_TENANTS;
-    let mut last_pane_state = (0u64, 0u64);
     let mut checkpoints_written = 0u64;
     drive_panes(spec, placement.as_ref(), jobs, start_pane, &mut summary, |s, pane, pane_fp| {
-        last_pane_state = (pane, pane_fp);
         if s.tenants_done >= last_ckpt + cadence || s.tenants_done == spec.tenants {
             let payload = encode_checkpoint(s, pane, pane_fp);
             let fingerprint = fingerprint64(&payload);
@@ -1035,6 +1039,38 @@ mod tests {
         );
         let uninterrupted = run_fleet_stream(&s, 1).expect("plain");
         assert_eq!(j.summary.fingerprint, uninterrupted.fingerprint);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_completed_journal_is_a_noop() {
+        let dir = tempdir("stream-jnl-done");
+        // 520 tenants: the final pane is partial (520 % 256 != 0), so a
+        // count-derived start pane would floor into the absorbed pane
+        // and double-fold its tenants.
+        let mut s = spec(520);
+        s.checkpoint_every = 200;
+        let path = dir.join("done.jnl");
+        let first = run_fleet_stream_journaled(&s, &path, false, 2, |_| ()).expect("first run");
+        let bytes = std::fs::read(&path).expect("read journal");
+
+        let again = run_fleet_stream_journaled(&s, &path, true, 2, |_| ()).expect("resume");
+        assert!(again.resume.resumed);
+        assert!(again.resume.verified_pane);
+        assert_eq!(again.resume.tenants_skipped, 520);
+        assert_eq!(again.resume.tenants_computed, 0);
+        assert_eq!(again.resume.checkpoints_written, 0);
+        assert_eq!(again.summary.tenants_done, 520);
+        assert_eq!(
+            again.summary.fingerprint, first.summary.fingerprint,
+            "resuming a complete journal must not re-fold any tenants"
+        );
+        assert_eq!(again.summary.render(&s), first.summary.render(&s));
+        assert_eq!(
+            std::fs::read(&path).expect("reread journal"),
+            bytes,
+            "a no-op resume must leave the journal untouched"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -178,8 +178,11 @@ impl Sketch {
         }
     }
 
-    /// Fold one value into the sketch. Non-finite values are clamped
-    /// into the underflow/overflow bins (they never reach min/max).
+    /// Fold one value into the sketch. Non-finite values land in the
+    /// underflow/overflow bins, but only NaN is excluded from the
+    /// extremes (every comparison with NaN is false); infinities update
+    /// min/max and propagate through the streaming moments (mean/CoV
+    /// become inf/NaN), exactly as they would a retained-trace mean.
     pub fn push(&mut self, v: f64) {
         self.n += 1;
         self.sum += v;
@@ -347,6 +350,13 @@ impl Sketch {
         };
         let exact_len = take_u32(bytes, at)? as usize;
         if exact_len > exact_cap {
+            return None;
+        }
+        // Bound the declared lengths against the bytes actually present
+        // before reserving: a corrupt header must not drive a ~128 MB
+        // transient allocation. (exact_len ≤ 2^24 and buckets ≤ 2^20,
+        // so the product cannot overflow.)
+        if bytes.len().saturating_sub(*at) < (exact_len + buckets) * 8 {
             return None;
         }
         let mut exact = Vec::with_capacity(exact_len);
